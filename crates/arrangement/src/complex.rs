@@ -1,0 +1,295 @@
+//! The planar cell complex of a spatial instance.
+//!
+//! A [`CellComplex`] is the geometric realization of the paper's cell complex
+//! for an instance `I` (Section 3): a partition of the plane into vertices
+//! (0-cells), edges (1-cells) and faces (2-cells) induced by the region
+//! boundaries, together with
+//!
+//! * the sign label `σ : names(I) → {o, ∂, −}` of every cell,
+//! * the designated exterior (unbounded) face `f0`,
+//! * the rotation system (counter-clockwise cyclic order of darts around each
+//!   vertex), which carries the paper's orientation relation `O`.
+//!
+//! The complex is *maximal*: cells are as large as possible (boundary pieces
+//! are not subdivided at points where nothing topologically relevant
+//! happens), with the single normalization that a boundary curve carrying no
+//! forced vertex keeps one canonical anchor vertex so that every 1-cell has
+//! endpoints. This normalization is applied uniformly to every instance and
+//! therefore does not affect invariant comparisons (see `DESIGN.md`).
+
+use crate::types::*;
+use std::collections::BTreeSet;
+
+/// The planar cell complex of a spatial database instance.
+#[derive(Clone, Debug)]
+pub struct CellComplex {
+    pub(crate) region_names: Vec<String>,
+    pub(crate) vertices: Vec<VertexData>,
+    pub(crate) edges: Vec<EdgeData>,
+    pub(crate) faces: Vec<FaceData>,
+    pub(crate) exterior: FaceId,
+}
+
+impl CellComplex {
+    /// The region names, in the canonical (sorted) order used by all labels.
+    pub fn region_names(&self) -> &[String] {
+        &self.region_names
+    }
+
+    /// The index of a region name in the label order.
+    pub fn region_index(&self, name: &str) -> Option<usize> {
+        self.region_names.iter().position(|n| n == name)
+    }
+
+    /// Number of vertices (0-cells).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges (1-cells).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of faces (2-cells), including the exterior face.
+    pub fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// All vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertices.len()).map(VertexId)
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// All face ids.
+    pub fn face_ids(&self) -> impl Iterator<Item = FaceId> {
+        (0..self.faces.len()).map(FaceId)
+    }
+
+    /// Vertex data.
+    pub fn vertex(&self, v: VertexId) -> &VertexData {
+        &self.vertices[v.0]
+    }
+
+    /// Edge data.
+    pub fn edge(&self, e: EdgeId) -> &EdgeData {
+        &self.edges[e.0]
+    }
+
+    /// Face data.
+    pub fn face(&self, f: FaceId) -> &FaceData {
+        &self.faces[f.0]
+    }
+
+    /// The designated exterior (unbounded) face `f0`.
+    pub fn exterior_face(&self) -> FaceId {
+        self.exterior
+    }
+
+    /// The label of any cell.
+    pub fn label(&self, cell: CellId) -> &Label {
+        match cell {
+            CellId::Vertex(v) => &self.vertices[v.0].label,
+            CellId::Edge(e) => &self.edges[e.0].label,
+            CellId::Face(f) => &self.faces[f.0].label,
+        }
+    }
+
+    /// The sign of a cell with respect to a region given by name.
+    pub fn sign_of(&self, cell: CellId, region: &str) -> Option<Sign> {
+        let idx = self.region_index(region)?;
+        Some(self.label(cell)[idx])
+    }
+
+    /// The tail vertex of a dart.
+    pub fn dart_tail(&self, d: DartId) -> VertexId {
+        let e = &self.edges[d.edge().0];
+        if d.is_forward() {
+            e.tail
+        } else {
+            e.head
+        }
+    }
+
+    /// The head vertex of a dart.
+    pub fn dart_head(&self, d: DartId) -> VertexId {
+        self.dart_tail(d.twin())
+    }
+
+    /// The face to the left of a dart.
+    pub fn dart_face(&self, d: DartId) -> FaceId {
+        let e = &self.edges[d.edge().0];
+        if d.is_forward() {
+            e.left_face
+        } else {
+            e.right_face
+        }
+    }
+
+    /// The counter-clockwise rotation of darts around a vertex.
+    pub fn rotation(&self, v: VertexId) -> &[DartId] {
+        &self.vertices[v.0].rotation
+    }
+
+    /// The edges incident to a vertex (each loop appears once).
+    pub fn vertex_edges(&self, v: VertexId) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> =
+            self.vertices[v.0].rotation.iter().map(|d| d.edge()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The faces incident to a vertex.
+    pub fn vertex_faces(&self, v: VertexId) -> Vec<FaceId> {
+        let mut out: Vec<FaceId> =
+            self.vertices[v.0].rotation.iter().map(|d| self.dart_face(*d)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The two faces incident to an edge (left of forward dart, left of
+    /// backward dart). They may coincide.
+    pub fn edge_faces(&self, e: EdgeId) -> (FaceId, FaceId) {
+        (self.edges[e.0].left_face, self.edges[e.0].right_face)
+    }
+
+    /// The boundary edges of a face, including the outer boundaries of
+    /// connected components embedded inside the face.
+    pub fn face_edges(&self, f: FaceId) -> &[EdgeId] {
+        &self.faces[f.0].boundary_edges
+    }
+
+    /// The faces making up a region (the cells labeled `Interior` for it).
+    pub fn region_faces(&self, region: &str) -> Vec<FaceId> {
+        match self.region_index(region) {
+            None => vec![],
+            Some(idx) => self
+                .face_ids()
+                .filter(|f| self.faces[f.0].label[idx] == Sign::Interior)
+                .collect(),
+        }
+    }
+
+    /// Is the skeleton (union of vertices and edges) connected?
+    /// (The paper's notion of a *connected* instance.)
+    pub fn is_connected(&self) -> bool {
+        self.skeleton_component_count() <= 1
+    }
+
+    /// Number of connected components of the skeleton.
+    pub fn skeleton_component_count(&self) -> usize {
+        let n = self.vertices.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                for d in &self.vertices[v].rotation {
+                    let w = self.dart_head(*d).0;
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Is the instance *simple* in the paper's sense: is the boundary walk of
+    /// every face a simple closed curve? (Simple instances are also
+    /// connected.)
+    pub fn is_simple(&self) -> bool {
+        if !self.is_connected() {
+            return false;
+        }
+        for f in self.face_ids() {
+            // The face boundary must consist of exactly one closed walk with
+            // no repeated vertices. We reconstruct the walk(s) from the darts
+            // whose left face is `f`.
+            let darts: Vec<DartId> = self.face_darts(f);
+            let vertices: Vec<VertexId> = darts.iter().map(|d| self.dart_tail(*d)).collect();
+            let distinct: BTreeSet<VertexId> = vertices.iter().copied().collect();
+            if distinct.len() != vertices.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All darts whose left face is `f` (the face's boundary walk(s)).
+    pub fn face_darts(&self, f: FaceId) -> Vec<DartId> {
+        let mut out = Vec::new();
+        for e in self.edge_ids() {
+            if self.edges[e.0].left_face == f {
+                out.push(DartId::forward(e));
+            }
+            if self.edges[e.0].right_face == f {
+                out.push(DartId::backward(e));
+            }
+        }
+        out
+    }
+
+    /// Check the Euler relation `|F| = |E| - |V| + 1 + C` where `C` is the
+    /// number of skeleton components (for connected complexes this is the
+    /// paper's `|Faces| = |Edges| - |Vertices| + 2`).
+    pub fn euler_formula_holds(&self) -> bool {
+        let c = self.skeleton_component_count();
+        if c == 0 {
+            return self.face_count() == 1;
+        }
+        self.face_count() == self.edge_count() + 1 + c - self.vertex_count()
+    }
+
+    /// The paper's orientation relation `O ⊆ {↻, ↺} × V × E × E`: for every
+    /// vertex, the pairs of consecutive incident edges in clockwise and in
+    /// counter-clockwise order. Loops contribute two entries, as in the
+    /// paper's Example 3.3.
+    pub fn orientation_relation(&self) -> Vec<(bool, VertexId, EdgeId, EdgeId)> {
+        // `true` encodes clockwise (↻), `false` counter-clockwise (↺).
+        let mut out = Vec::new();
+        for v in self.vertex_ids() {
+            let rot = self.rotation(v);
+            let k = rot.len();
+            if k == 0 {
+                continue;
+            }
+            for i in 0..k {
+                let e1 = rot[i].edge();
+                let e2 = rot[(i + 1) % k].edge();
+                // rotation is counter-clockwise.
+                out.push((false, v, e1, e2));
+                out.push((true, v, e2, e1));
+            }
+        }
+        out
+    }
+
+    /// Human-readable summary of the complex.
+    pub fn summary(&self) -> String {
+        format!(
+            "cell complex: {} vertices, {} edges, {} faces ({} region(s), exterior = f{})",
+            self.vertex_count(),
+            self.edge_count(),
+            self.face_count(),
+            self.region_names.len(),
+            self.exterior.0
+        )
+    }
+}

@@ -1,0 +1,53 @@
+//! # arrangement
+//!
+//! Exact planar cell complexes of spatial database instances — the geometric
+//! engine behind the paper's topological invariant (Section 3).
+//!
+//! Given a [`spatial_core::instance::SpatialInstance`] whose regions have
+//! polygonal boundaries, [`build_complex`] computes the partition of the
+//! plane induced by the region boundaries into vertices, edges and faces (the
+//! *maximal cell complex* of the instance), together with:
+//!
+//! * the sign label of every cell with respect to every region
+//!   (interior / boundary / exterior),
+//! * the designated unbounded face `f0`,
+//! * the rotation system (cyclic order of edges around each vertex), i.e. the
+//!   paper's orientation relation `O`,
+//! * the nesting of disconnected boundary components into the faces that
+//!   contain them.
+//!
+//! This is the polygonal stand-in for the Kozen–Yap cell decomposition the
+//! paper uses for semi-algebraic inputs; see `DESIGN.md` for the substitution
+//! argument.
+//!
+//! ## Example
+//!
+//! ```
+//! use arrangement::build_complex;
+//! use spatial_core::fixtures;
+//!
+//! // The instance of the paper's Example 3.1 (Fig. 1c).
+//! let complex = build_complex(&fixtures::fig_1c());
+//! assert_eq!(complex.vertex_count(), 2);
+//! assert_eq!(complex.edge_count(), 4);
+//! assert_eq!(complex.face_count(), 4);
+//! assert!(complex.euler_formula_holds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod complex;
+mod geometry;
+pub mod split;
+mod types;
+
+pub use builder::build_complex;
+pub use complex::CellComplex;
+pub use types::{
+    CellId, DartId, Dimension, EdgeData, EdgeId, FaceData, FaceId, Label, Sign, VertexData,
+    VertexId,
+};
+
+pub use geometry::{closed_polyline_area_doubled, point_in_closed_polyline};

@@ -1,0 +1,190 @@
+//! Identifier types, sign labels and raw cell data for the planar cell
+//! complex.
+
+use spatial_core::prelude::*;
+use std::fmt;
+
+/// Index of a 0-cell (vertex) in a [`crate::CellComplex`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VertexId(pub usize);
+
+/// Index of a 1-cell (edge) in a [`crate::CellComplex`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId(pub usize);
+
+/// Index of a 2-cell (face) in a [`crate::CellComplex`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FaceId(pub usize);
+
+/// A *dart* (half-edge): edge `e` traversed forward (`2e`) or backward
+/// (`2e + 1`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DartId(pub usize);
+
+impl DartId {
+    /// The forward dart of an edge.
+    pub fn forward(e: EdgeId) -> DartId {
+        DartId(e.0 * 2)
+    }
+
+    /// The backward dart of an edge.
+    pub fn backward(e: EdgeId) -> DartId {
+        DartId(e.0 * 2 + 1)
+    }
+
+    /// The edge this dart belongs to.
+    pub fn edge(self) -> EdgeId {
+        EdgeId(self.0 / 2)
+    }
+
+    /// Is this the forward dart of its edge?
+    pub fn is_forward(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// The opposite dart of the same edge.
+    pub fn twin(self) -> DartId {
+        DartId(self.0 ^ 1)
+    }
+}
+
+/// The sign of a cell with respect to one region: the paper's labeling
+/// `σ : names(I) → {o, ∂, −}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sign {
+    /// The cell lies in the region's interior (`o`).
+    Interior,
+    /// The cell lies on the region's boundary (`∂`).
+    Boundary,
+    /// The cell lies in the region's exterior (`−`).
+    Exterior,
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sign::Interior => "o",
+            Sign::Boundary => "∂",
+            Sign::Exterior => "-",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A cell label: one [`Sign`] per region, in region-name order.
+pub type Label = Vec<Sign>;
+
+/// Data stored for a vertex (0-cell).
+#[derive(Clone, Debug)]
+pub struct VertexData {
+    /// The geometric position of the vertex.
+    pub point: Point,
+    /// Per-region sign.
+    pub label: Label,
+    /// Outgoing darts in counter-clockwise order (the rotation system).
+    pub rotation: Vec<DartId>,
+}
+
+/// Data stored for an edge (1-cell).
+#[derive(Clone, Debug)]
+pub struct EdgeData {
+    /// Tail vertex of the forward dart.
+    pub tail: VertexId,
+    /// Head vertex of the forward dart (equal to `tail` for a loop).
+    pub head: VertexId,
+    /// The polyline realizing the edge, from `tail` to `head`
+    /// (at least two points; first and last are the endpoint positions).
+    pub polyline: Vec<Point>,
+    /// Indices (into the region-name list) of the regions whose boundary
+    /// contains this edge.
+    pub on_boundary_of: Vec<usize>,
+    /// Face to the left of the forward dart.
+    pub left_face: FaceId,
+    /// Face to the left of the backward dart (i.e. to the right of the edge).
+    pub right_face: FaceId,
+    /// Per-region sign.
+    pub label: Label,
+}
+
+/// Data stored for a face (2-cell).
+#[derive(Clone, Debug)]
+pub struct FaceData {
+    /// Is this the unbounded (exterior) face `f0`?
+    pub is_exterior: bool,
+    /// All edges on the face's boundary, including the boundaries of
+    /// connected components embedded inside the face (sorted, deduplicated).
+    pub boundary_edges: Vec<EdgeId>,
+    /// Per-region sign (`Interior` or `Exterior` only; faces never lie on a
+    /// boundary).
+    pub label: Label,
+    /// An interior sample point of the face (absent for the exterior face).
+    pub sample_point: Option<Point>,
+}
+
+/// The dimension of a cell.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Dimension {
+    /// 0-cells (vertices).
+    Zero,
+    /// 1-cells (edges).
+    One,
+    /// 2-cells (faces).
+    Two,
+}
+
+/// A reference to any cell of the complex.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CellId {
+    /// A vertex.
+    Vertex(VertexId),
+    /// An edge.
+    Edge(EdgeId),
+    /// A face.
+    Face(FaceId),
+}
+
+impl CellId {
+    /// The dimension of the referenced cell.
+    pub fn dimension(self) -> Dimension {
+        match self {
+            CellId::Vertex(_) => Dimension::Zero,
+            CellId::Edge(_) => Dimension::One,
+            CellId::Face(_) => Dimension::Two,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dart_arithmetic() {
+        let e = EdgeId(3);
+        let f = DartId::forward(e);
+        let b = DartId::backward(e);
+        assert_eq!(f, DartId(6));
+        assert_eq!(b, DartId(7));
+        assert_eq!(f.twin(), b);
+        assert_eq!(b.twin(), f);
+        assert_eq!(f.edge(), e);
+        assert_eq!(b.edge(), e);
+        assert!(f.is_forward());
+        assert!(!b.is_forward());
+    }
+
+    #[test]
+    fn sign_display() {
+        assert_eq!(format!("{}", Sign::Interior), "o");
+        assert_eq!(format!("{}", Sign::Boundary), "∂");
+        assert_eq!(format!("{}", Sign::Exterior), "-");
+    }
+
+    #[test]
+    fn cell_dimension() {
+        assert_eq!(CellId::Vertex(VertexId(0)).dimension(), Dimension::Zero);
+        assert_eq!(CellId::Edge(EdgeId(0)).dimension(), Dimension::One);
+        assert_eq!(CellId::Face(FaceId(0)).dimension(), Dimension::Two);
+        assert!(Dimension::Zero < Dimension::Two);
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared configuration for the benchmark harness reproducing the paper's
+//! figures and complexity claims. Every Criterion group uses a short,
+//! deterministic configuration so `cargo bench --workspace` finishes in
+//! minutes while still producing stable relative numbers; `EXPERIMENTS.md`
+//! maps each benchmark to the paper artifact it reproduces.
+
+/// The instance sizes (number of regions) used by the scaling sweeps.
+pub const SCALING_SIZES: [usize; 4] = [4, 16, 36, 64];
+
+/// A larger sweep used only by the invariant-construction benchmark.
+pub const CONSTRUCTION_SIZES: [usize; 5] = [4, 16, 36, 64, 100];

@@ -1,0 +1,179 @@
+//! # datagen
+//!
+//! Deterministic workload generators for the test suite and the benchmark
+//! harness: parameterized families of spatial instances whose size can be
+//! swept to measure the scaling behaviour of the invariant construction,
+//! isomorphism checking and query evaluation (the paper's polynomial-time /
+//! NC claims).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spatial_core::prelude::*;
+
+/// A "land-use map": an `rows x cols` grid of axis-parallel rectangular
+/// parcels, each a named region, adjacent parcels meeting along shared edges.
+///
+/// This is the workload for the invariant-scaling and thematic benchmarks:
+/// the number of cells of the complex grows linearly with the number of
+/// parcels, and every parcel pair stands in a `meet` or `disjoint` relation.
+pub fn grid_map(cols: usize, rows: usize, cell_size: i64) -> SpatialInstance {
+    assert!(cols > 0 && rows > 0 && cell_size > 0);
+    let mut inst = SpatialInstance::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let x1 = c as i64 * cell_size;
+            let y1 = r as i64 * cell_size;
+            let name = format!("P{:03}_{:03}", r, c);
+            inst.insert(name, Region::rect_from_ints(x1, y1, x1 + cell_size, y1 + cell_size));
+        }
+    }
+    inst
+}
+
+/// `n` nested rectangles (`R0 ⊃ R1 ⊃ … ⊃ R(n-1)`), pairwise in the
+/// `contains` relation; the cell complex is a chain of annuli.
+pub fn nested_rings(n: usize) -> SpatialInstance {
+    assert!(n > 0);
+    let mut inst = SpatialInstance::new();
+    let size = 4 * n as i64 + 4;
+    for i in 0..n {
+        let off = 2 * i as i64;
+        inst.insert(
+            format!("R{i:03}"),
+            Region::rect_from_ints(off, off, size - off, size - off),
+        );
+    }
+    inst
+}
+
+/// A chain of `n` rectangles in which consecutive ones overlap and
+/// non-consecutive ones are disjoint.
+pub fn overlapping_chain(n: usize) -> SpatialInstance {
+    assert!(n > 0);
+    let mut inst = SpatialInstance::new();
+    for i in 0..n {
+        let x = 6 * i as i64;
+        inst.insert(format!("C{i:03}"), Region::rect_from_ints(x, 0, x + 8, 4));
+    }
+    inst
+}
+
+/// `n` pseudo-random axis-parallel rectangles with integer coordinates in
+/// `[0, span)`, deterministic in the seed. Degenerate rectangles are avoided;
+/// duplicates may occur only with astronomically small probability.
+pub fn random_rectangles(n: usize, span: i64, seed: u64) -> SpatialInstance {
+    assert!(n > 0 && span > 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = SpatialInstance::new();
+    for i in 0..n {
+        let x1 = rng.gen_range(0..span - 2);
+        let y1 = rng.gen_range(0..span - 2);
+        let w = rng.gen_range(1..=(span - x1 - 1).min(span / 3).max(1));
+        let h = rng.gen_range(1..=(span - y1 - 1).min(span / 3).max(1));
+        inst.insert(format!("R{i:03}"), Region::rect_from_ints(x1, y1, x1 + w, y1 + h));
+    }
+    inst
+}
+
+/// A "flower": `n` triangular petals sharing the origin, in pseudo-random
+/// cyclic order determined by the seed. Exercises high-degree vertices and
+/// the orientation relation.
+pub fn flower(n: usize, seed: u64) -> SpatialInstance {
+    assert!((3..=24).contains(&n), "flower size must be between 3 and 24");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    // Petal k occupies the angular sector around direction k; use integer
+    // points on a coarse circle to stay exact.
+    let dirs: [(i64, i64); 24] = [
+        (40, 0), (39, 10), (35, 20), (28, 28), (20, 35), (10, 39), (0, 40), (-10, 39),
+        (-20, 35), (-28, 28), (-35, 20), (-39, 10), (-40, 0), (-39, -10), (-35, -20),
+        (-28, -28), (-20, -35), (-10, -39), (0, -40), (10, -39), (20, -35), (28, -28),
+        (35, -20), (39, -10),
+    ];
+    let step = 24 / n;
+    let mut inst = SpatialInstance::new();
+    for (slot, &petal) in order.iter().enumerate() {
+        let (cx, cy) = dirs[slot * step];
+        // A thin triangle from the origin toward (cx, cy).
+        let perp = (-cy / 10, cx / 10);
+        let poly = Polygon::new(vec![
+            pt(0, 0),
+            pt(cx - perp.0, cy - perp.1),
+            pt(cx + perp.0, cy + perp.1),
+        ])
+        .expect("petal triangles are valid");
+        inst.insert(format!("F{petal:02}"), Region::polygon(poly));
+    }
+    inst
+}
+
+/// The instance-size sweep used by the scaling benchmarks: grid maps with
+/// roughly `n` regions.
+pub fn scaling_sweep(sizes: &[usize]) -> Vec<(usize, SpatialInstance)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let cols = (n as f64).sqrt().ceil() as usize;
+            let rows = n.div_ceil(cols);
+            (cols * rows, grid_map(cols, rows, 4))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_map_counts_and_classes() {
+        let g = grid_map(4, 3, 5);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.common_class(), RegionClass::Rect);
+    }
+
+    #[test]
+    fn nested_and_chain() {
+        let n = nested_rings(5);
+        assert_eq!(n.len(), 5);
+        let c = overlapping_chain(6);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn random_rectangles_deterministic() {
+        let a = random_rectangles(10, 50, 42);
+        let b = random_rectangles(10, 50, 42);
+        assert_eq!(a, b);
+        let c = random_rectangles(10, 50, 43);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn flower_petals_touch_origin() {
+        let f = flower(6, 7);
+        assert_eq!(f.len(), 6);
+        for (_, region) in f.iter() {
+            assert_eq!(region.locate(&pt(0, 0)), Location::Boundary);
+        }
+        // Different seeds give different cyclic orders (almost surely).
+        assert_ne!(flower(6, 7), flower(6, 8));
+    }
+
+    #[test]
+    fn scaling_sweep_sizes() {
+        let sweep = scaling_sweep(&[4, 9, 16]);
+        assert_eq!(sweep.len(), 3);
+        for (n, inst) in sweep {
+            assert_eq!(inst.len(), n);
+        }
+    }
+}

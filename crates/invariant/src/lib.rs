@@ -1,0 +1,49 @@
+//! # invariant
+//!
+//! The topological invariant `T_I` of a spatial database instance — the core
+//! contribution of *"Topological Queries in Spatial Databases"*
+//! (Papadimitriou, Suciu, Vianu; PODS 1996 / JCSS 1999), Section 3.
+//!
+//! * [`Invariant`] — the finite structure `T_I = (V, E, δ, f0, l, O)`
+//!   extracted from the planar cell complex of an instance.
+//! * [`isomorphism`] — Theorem 3.4: two instances are topologically
+//!   equivalent iff their invariants are isomorphic (identity on region
+//!   names); plus the relaxed comparisons showing that the exterior face and
+//!   the orientation relation are both essential (Figs. 6 and 7).
+//! * [`validate`] — Theorem 3.8 / Lemma 3.9: deciding whether a candidate
+//!   structure is the invariant of some instance (labeled planar graphs).
+//! * [`thematic`] — Example 3.6 / Corollary 3.7: storing the invariant as a
+//!   classical relational database over the fixed schema `Th`.
+//! Theorem 3.5's *representation* statement — every (semi-algebraic)
+//! instance has a polygonal representative with the same invariant — is
+//! reflected in this reproduction by working with polygonal regions
+//! throughout (see `DESIGN.md`); an explicit re-drawing algorithm from a bare
+//! invariant is not included.
+//!
+//! ## Example
+//!
+//! ```
+//! use invariant::{Invariant, isomorphism};
+//! use spatial_core::fixtures;
+//!
+//! // Fig. 1c and Fig. 1d are 4-intersection equivalent but not homeomorphic:
+//! let c = Invariant::of_instance(&fixtures::fig_1c());
+//! let d = Invariant::of_instance(&fixtures::fig_1d());
+//! assert!(!isomorphism::isomorphic(&c, &d));
+//!
+//! // Translations are homeomorphisms:
+//! let c2 = Invariant::of_instance(&fixtures::fig_1c().translated(10, 10));
+//! assert!(isomorphism::isomorphic(&c, &c2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod isomorphism;
+mod structure;
+pub mod thematic;
+pub mod validate;
+
+pub use isomorphism::{find_isomorphism, homeomorphic, isomorphic, IsoOptions, Isomorphism};
+pub use structure::{Dart, Invariant};
+pub use validate::{is_valid, validate, ValidationError};

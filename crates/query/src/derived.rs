@@ -1,0 +1,159 @@
+//! Derived predicates used in the paper's expressiveness proofs
+//! (Theorem 4.4, Proposition 4.5, Theorem 5.8).
+//!
+//! These are formula *builders*: they produce sentences/sub-formulas of the
+//! region-based language that define higher-level notions from the
+//! 4-intersection atoms, exactly as in the paper's proofs. The benchmark
+//! harness evaluates them on rectilinear instances to demonstrate the
+//! corresponding expressiveness claims.
+
+use crate::ast::{Formula, RegionExpr};
+use relations::Relation4;
+
+/// `edge(r, s)` — Theorem 4.4's predicate: `r` and `s` meet and share a
+/// positive-length piece of boundary (witnessed by a third region overlapping
+/// both).
+pub fn edge_contact(r: RegionExpr, s: RegionExpr) -> Formula {
+    let w = "w_edge";
+    Formula::and(vec![
+        Formula::rel(Relation4::Meet, r.clone(), s.clone()),
+        Formula::exists_region(
+            w,
+            Formula::and(vec![
+                Formula::rel(Relation4::Overlap, RegionExpr::var(w), r),
+                Formula::rel(Relation4::Overlap, RegionExpr::var(w), s),
+            ]),
+        ),
+    ])
+}
+
+/// `corner(r, s)` — the regions meet at a corner only (they meet, but share
+/// no positive-length boundary).
+pub fn corner_contact(r: RegionExpr, s: RegionExpr) -> Formula {
+    Formula::and(vec![
+        Formula::rel(Relation4::Meet, r.clone(), s.clone()),
+        Formula::not(edge_contact(r, s)),
+    ])
+}
+
+/// The query `Q_Region` used throughout Theorem 4.4's incomparability proofs:
+/// "the named region equals some quantified region", i.e. the input region
+/// belongs to the quantifier class.
+pub fn named_region_is_quantifiable(name: &str) -> Formula {
+    Formula::exists_region(
+        "r",
+        Formula::rel(Relation4::Equal, RegionExpr::var("r"), RegionExpr::named(name)),
+    )
+}
+
+/// Theorem 4.4 (fact (-)): "`r` is a rectangle", expressed in
+/// `FO(Rect*, Rect*)` as "`r` has exactly four corners": there are four
+/// pairwise disjoint regions cornering `r`, and there are no five.
+///
+/// The builder returns the sentence stating that the *named* region has
+/// exactly four corner contacts among pairwise-disjoint witnesses.
+pub fn is_rectangle(name: &str) -> Formula {
+    let target = RegionExpr::named(name);
+    let witnesses = |k: usize| -> Formula {
+        let vars: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+        let mut clauses = Vec::new();
+        for v in &vars {
+            clauses.push(corner_contact(RegionExpr::var(v.clone()), target.clone()));
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                clauses.push(Formula::rel(
+                    Relation4::Disjoint,
+                    RegionExpr::var(vars[i].clone()),
+                    RegionExpr::var(vars[j].clone()),
+                ));
+            }
+        }
+        let mut f = Formula::and(clauses);
+        for v in vars.into_iter().rev() {
+            f = Formula::exists_region(v, f);
+        }
+        f
+    };
+    Formula::and(vec![witnesses(4), Formula::not(witnesses(5))])
+}
+
+/// Proposition 4.5's `chain(X)` pattern, instantiated for three named
+/// regions: `A`, `B`, `C` form a chain (consecutive ones connect, the ends do
+/// not).
+pub fn chain3(a: &str, b: &str, c: &str) -> Formula {
+    Formula::and(vec![
+        Formula::connect(RegionExpr::named(a), RegionExpr::named(b)),
+        Formula::connect(RegionExpr::named(b), RegionExpr::named(c)),
+        Formula::not(Formula::connect(RegionExpr::named(a), RegionExpr::named(c))),
+    ])
+}
+
+/// `path(A, r, B)` from Example 4.2: `r` connects `A` and `B` while avoiding
+/// every region named in `avoid`.
+pub fn path(a: &str, r: &str, b: &str, avoid: &[&str]) -> Formula {
+    let mut clauses = vec![
+        Formula::connect(RegionExpr::var(r), RegionExpr::named(a)),
+        Formula::connect(RegionExpr::var(r), RegionExpr::named(b)),
+    ];
+    for name in avoid {
+        clauses.push(Formula::not(Formula::connect(RegionExpr::var(r), RegionExpr::named(*name))));
+    }
+    Formula::and(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_eval::eval_on_instance;
+    use spatial_core::prelude::*;
+
+    #[test]
+    fn edge_vs_corner_contact() {
+        // Two squares sharing an edge. A third region straddling the shared
+        // edge gives the cell domain a witness for the overlap clause, so the
+        // edge-contact predicate can be established by the evaluator.
+        let edge_inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 4, 4)),
+            ("B", Region::rect_from_ints(4, 0, 8, 4)),
+            ("W", Region::rect_from_ints(3, 1, 5, 3)),
+        ]);
+        let e = edge_contact(RegionExpr::named("A"), RegionExpr::named("B"));
+        let c = corner_contact(RegionExpr::named("A"), RegionExpr::named("B"));
+        assert_eq!(eval_on_instance(&edge_inst, &e), Ok(true));
+        assert_eq!(eval_on_instance(&edge_inst, &c), Ok(false));
+        // Regions that do not even meet satisfy neither predicate.
+        let far = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 4, 4)),
+            ("B", Region::rect_from_ints(10, 0, 14, 4)),
+            ("W", Region::rect_from_ints(3, 1, 12, 3)),
+        ]);
+        assert_eq!(eval_on_instance(&far, &e), Ok(false));
+        assert_eq!(eval_on_instance(&far, &c), Ok(false));
+    }
+
+    #[test]
+    fn chain_and_path() {
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 4, 4)),
+            ("B", Region::rect_from_ints(4, 0, 8, 4)),
+            ("C", Region::rect_from_ints(8, 0, 12, 4)),
+        ]);
+        assert_eq!(eval_on_instance(&inst, &chain3("A", "B", "C")), Ok(true));
+        assert_eq!(eval_on_instance(&inst, &chain3("A", "C", "B")), Ok(false));
+        // There is a region connecting A and B avoiding C.
+        let p = Formula::exists_region("r", path("A", "r", "B", &["C"]));
+        assert_eq!(eval_on_instance(&inst, &p), Ok(true));
+        // And one connecting A and C (no avoidance): the middle square works.
+        let q = Formula::exists_region("r", path("A", "r", "C", &[]));
+        assert_eq!(eval_on_instance(&inst, &q), Ok(true));
+    }
+
+    #[test]
+    fn quantifiable_region_query_builds() {
+        let f = named_region_is_quantifiable("A");
+        assert_eq!(f.region_quantifier_count(), 1);
+        let r = is_rectangle("A");
+        assert!(r.region_quantifier_count() >= 9);
+    }
+}

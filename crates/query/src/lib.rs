@@ -1,0 +1,52 @@
+//! # query
+//!
+//! The region-based query languages `FO(Region, Region')` of
+//! *"Topological Queries in Spatial Databases"* (Sections 4–6), together with
+//! their effective evaluators and the completeness constructions:
+//!
+//! * [`ast`] / [`parser`] — syntax of the languages: 4-intersection atoms,
+//!   name and region variables, Boolean connectives and quantifiers;
+//! * [`cell_eval`] — the tractable evaluator of the paper's Section 7:
+//!   region quantifiers range over disc-like unions of cells of the
+//!   instance's cell complex (this is what answers the paper's Example 4.1 /
+//!   4.2 separating queries);
+//! * [`thematic_eval`] — Corollary 3.7: answering the quantifier-free
+//!   fragment by first-order queries over the thematic relational database;
+//! * [`rect_eval`] — Theorem 6.4: effective evaluation of `FO(Rect, Rect)` by
+//!   order-type snapping, with polynomial data complexity;
+//! * [`point_lang`] — the point-based language `FO(P, <x, <y, ·)` and the
+//!   rectangle-to-point translation of Theorem 5.8;
+//! * [`derived`] — the derived predicates used in the expressiveness proofs
+//!   (Theorem 4.4, Proposition 4.5);
+//! * [`complete`] — Proposition 5.1 / Theorem 5.6: the sentence `φ_{T_I}`
+//!   defining an instance's homeomorphism class, and the normal form for
+//!   computable topological queries.
+//!
+//! ## Example
+//!
+//! ```
+//! use query::parser::parse;
+//! use query::cell_eval::eval_on_instance;
+//! use spatial_core::fixtures;
+//!
+//! // The paper's Example 4.1: is there a region inside A, B and C at once?
+//! let q = parse("exists r . subset(r, A) and subset(r, B) and subset(r, C)").unwrap();
+//! assert_eq!(eval_on_instance(&fixtures::fig_1a(), &q), Ok(true));
+//! assert_eq!(eval_on_instance(&fixtures::fig_1b(), &q), Ok(false));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cell_eval;
+pub mod complete;
+pub mod derived;
+pub mod parser;
+pub mod point_lang;
+pub mod rect_eval;
+pub mod thematic_eval;
+
+pub use ast::{Formula, NameTerm, Query, RegionExpr};
+pub use cell_eval::{eval_on_instance, CellEvaluator, EvalError};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,372 @@
+//! A small concrete syntax for the region-based languages.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula   := quant | implies
+//! quant     := ("exists" | "forall") IDENT ("," IDENT)* "." formula
+//!            | ("existsname" | "forallname") IDENT "." formula
+//! implies   := or ("->" or)*                (right associative)
+//! or        := and ("or" and)*
+//! and       := unary ("and" unary)*
+//! unary     := "not" unary | atom | "(" formula ")"
+//! atom      := REL "(" regexpr "," regexpr ")"
+//!            | "connect" "(" regexpr "," regexpr ")"
+//!            | "subset" "(" regexpr "," regexpr ")"
+//!            | nameterm "=" nameterm
+//! regexpr   := IDENT | "ext" "(" nameterm ")"
+//! REL       := disjoint | meet | overlap | equal | contains | inside
+//!            | covers | covered_by
+//! ```
+//!
+//! Following the paper's convention, identifiers starting with an uppercase
+//! letter denote region-name constants, lowercase identifiers denote
+//! variables; a lowercase identifier appearing in region position is a region
+//! variable if it is bound by `exists`/`forall`, and a name variable if bound
+//! by `existsname`/`forallname` (inside `ext(…)` it is always a name term).
+
+use crate::ast::{Formula, NameTerm, RegionExpr};
+use relations::Relation4;
+use std::fmt;
+
+/// A parse error with a human-readable message and the offending position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Explanation of the failure.
+    pub message: String,
+    /// Byte offset in the input at which the failure occurred.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a sentence of the region-based language.
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let f = parser.formula()?;
+    parser.expect_end()?;
+    Ok(f)
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Token {
+    Ident(String, usize),
+    LParen(usize),
+    RParen(usize),
+    Comma(usize),
+    Dot(usize),
+    Eq(usize),
+    Arrow(usize),
+}
+
+impl Token {
+    fn position(&self) -> usize {
+        match self {
+            Token::Ident(_, p)
+            | Token::LParen(p)
+            | Token::RParen(p)
+            | Token::Comma(p)
+            | Token::Dot(p)
+            | Token::Eq(p)
+            | Token::Arrow(p) => *p,
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen(i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen(i));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma(i));
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot(i));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq(i));
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                tokens.push(Token::Arrow(i));
+                i += 2;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string(), start));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let position = self.peek().map(|t| t.position()).unwrap_or(usize::MAX);
+        ParseError { message: message.into(), position }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing input after the formula"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s, _)) => Ok(s),
+            _ => Err(self.error("expected an identifier")),
+        }
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if std::mem::discriminant(&t) == std::mem::discriminant(want) => Ok(()),
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        if let Some(Token::Ident(word, _)) = self.peek() {
+            let quant = word.clone();
+            if ["exists", "forall", "existsname", "forallname"].contains(&quant.as_str()) {
+                self.next();
+                let mut vars = vec![self.expect_ident()?];
+                while matches!(self.peek(), Some(Token::Comma(_))) {
+                    self.next();
+                    vars.push(self.expect_ident()?);
+                }
+                self.expect(&Token::Dot(0), "`.` after quantified variables")?;
+                let body = self.formula()?;
+                let wrap = |var: String, inner: Formula| match quant.as_str() {
+                    "exists" => Formula::exists_region(var, inner),
+                    "forall" => Formula::forall_region(var, inner),
+                    "existsname" => Formula::exists_name(var, inner),
+                    _ => Formula::forall_name(var, inner),
+                };
+                return Ok(vars.into_iter().rev().fold(body, |acc, v| wrap(v, acc)));
+            }
+        }
+        self.implication()
+    }
+
+    fn implication(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if matches!(self.peek(), Some(Token::Arrow(_))) {
+            self.next();
+            let rhs = self.formula()?;
+            return Ok(Formula::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conjunction()?];
+        while let Some(Token::Ident(w, _)) = self.peek() {
+            if w == "or" {
+                self.next();
+                parts.push(self.conjunction()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::Or(parts) })
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while let Some(Token::Ident(w, _)) = self.peek() {
+            if w == "and" {
+                self.next();
+                parts.push(self.unary()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::And(parts) })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(w, _)) if w == "not" => {
+                self.next();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Token::Ident(w, _))
+                if ["exists", "forall", "existsname", "forallname"].contains(&w.as_str()) =>
+            {
+                self.formula()
+            }
+            Some(Token::LParen(_)) => {
+                self.next();
+                let f = self.formula()?;
+                self.expect(&Token::RParen(0), "`)`")?;
+                Ok(f)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        let name = self.expect_ident()?;
+        // Predicate atoms.
+        if matches!(self.peek(), Some(Token::LParen(_)))
+            && (name == "connect" || name == "subset" || Relation4::from_name(&name).is_some())
+        {
+            self.next(); // (
+            let p = self.region_expr()?;
+            self.expect(&Token::Comma(0), "`,`")?;
+            let q = self.region_expr()?;
+            self.expect(&Token::RParen(0), "`)`")?;
+            return Ok(match name.as_str() {
+                "connect" => Formula::Connect(p, q),
+                "subset" => Formula::Subset(p, q),
+                rel => Formula::Rel(Relation4::from_name(rel).unwrap(), p, q),
+            });
+        }
+        // Name equality: `a = b`.
+        if matches!(self.peek(), Some(Token::Eq(_))) {
+            self.next();
+            let rhs = self.expect_ident()?;
+            return Ok(Formula::NameEq(ident_to_name_term(&name), ident_to_name_term(&rhs)));
+        }
+        Err(self.error(format!("unknown predicate or dangling identifier `{name}`")))
+    }
+
+    fn region_expr(&mut self) -> Result<RegionExpr, ParseError> {
+        let id = self.expect_ident()?;
+        if id == "ext" && matches!(self.peek(), Some(Token::LParen(_))) {
+            self.next();
+            let inner = self.expect_ident()?;
+            self.expect(&Token::RParen(0), "`)`")?;
+            return Ok(RegionExpr::Ext(ident_to_name_term(&inner)));
+        }
+        if id.chars().next().is_some_and(|c| c.is_uppercase()) {
+            Ok(RegionExpr::Ext(NameTerm::Const(id)))
+        } else {
+            Ok(RegionExpr::Var(id))
+        }
+    }
+}
+
+fn ident_to_name_term(id: &str) -> NameTerm {
+    if id.chars().next().is_some_and(|c| c.is_uppercase()) {
+        NameTerm::Const(id.to_string())
+    } else {
+        NameTerm::Var(id.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_eval::eval_on_instance;
+    use spatial_core::fixtures;
+
+    #[test]
+    fn parses_example_4_1() {
+        let f = parse("exists r . subset(r, A) and subset(r, B) and subset(r, C)").unwrap();
+        assert_eq!(f.region_quantifier_count(), 1);
+        assert_eq!(eval_on_instance(&fixtures::fig_1a(), &f), Ok(true));
+        assert_eq!(eval_on_instance(&fixtures::fig_1b(), &f), Ok(false));
+    }
+
+    #[test]
+    fn parses_multi_variable_quantifiers_and_implication() {
+        let f = parse(
+            "forall r, s . (subset(r, A) and subset(r, B) and subset(s, A) and subset(s, B)) \
+             -> exists t . subset(t, A) and subset(t, B) and connect(t, r) and connect(t, s)",
+        )
+        .unwrap();
+        assert_eq!(f.region_quantifier_count(), 3);
+        assert_eq!(eval_on_instance(&fixtures::fig_1c(), &f), Ok(true));
+        assert_eq!(eval_on_instance(&fixtures::fig_1d(), &f), Ok(false));
+    }
+
+    #[test]
+    fn parses_relations_names_and_equality() {
+        let f = parse("existsname a . existsname b . not a = b and overlap(ext(a), ext(b))")
+            .unwrap();
+        assert_eq!(eval_on_instance(&fixtures::fig_1a(), &f), Ok(true));
+        assert_eq!(eval_on_instance(&fixtures::nested_three(), &f), Ok(false));
+        let g = parse("contains(A, B) and inside(C, B)").unwrap();
+        assert_eq!(eval_on_instance(&fixtures::nested_three(), &g), Ok(true));
+    }
+
+    #[test]
+    fn parses_not_or_parentheses() {
+        let f = parse("not (disjoint(A, B) or meet(A, B))").unwrap();
+        assert_eq!(eval_on_instance(&fixtures::fig_1c(), &f), Ok(true));
+    }
+
+    #[test]
+    fn display_round_trips_through_the_parser() {
+        let original =
+            parse("exists r . subset(r, A) and not connect(r, B) or equal(A, B)").unwrap();
+        let reparsed = parse(&format!("{original}")).unwrap();
+        assert_eq!(format!("{original}"), format!("{reparsed}"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("exists . subset(r, A)").is_err());
+        assert!(parse("subset(r A)").is_err());
+        assert!(parse("foo(A, B)").is_err());
+        assert!(parse("subset(A, B) extra").is_err());
+        assert!(parse("overlap(A, B) %").is_err());
+        let err = parse("overlap(A,").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Answering topological queries on the thematic relational database
+//! (Corollary 3.7).
+//!
+//! The paper's thematic bridge says: compute `thematic(I)` once (a classical
+//! relational instance over the fixed schema `Th`), and from then on answer
+//! topological queries with ordinary first-order queries against it — no
+//! geometry needed. This module implements the translation for the fragment
+//! of the region-based language without region quantifiers (Boolean
+//! combinations of 4-intersection atoms between named regions, with name
+//! variables and quantifiers), which is the fragment geographic information
+//! systems use directly, and the fragment measured by the Corollary 3.7
+//! benchmark.
+
+use crate::ast::{Formula, NameTerm, RegionExpr};
+use relations::Relation4;
+use relstore::fo::{Formula as Fo, Term};
+use relstore::Database;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Errors raised when translating a formula to the thematic schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ThematicError {
+    /// The formula quantifies over regions, which is outside the translated
+    /// fragment (use the cell evaluator for those queries).
+    RegionQuantifier(String),
+    /// A region variable occurred (only named regions are allowed here).
+    RegionVariable(String),
+}
+
+impl std::fmt::Display for ThematicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThematicError::RegionQuantifier(v) => {
+                write!(f, "region quantifier over `{v}` not supported on the thematic database")
+            }
+            ThematicError::RegionVariable(v) => {
+                write!(f, "free region variable `{v}` not supported on the thematic database")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThematicError {}
+
+static FRESH: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh(prefix: &str) -> String {
+    format!("{prefix}_{}", FRESH.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Translate a region-quantifier-free sentence of the region-based language
+/// into a first-order sentence over the thematic schema `Th`.
+pub fn translate(formula: &Formula) -> Result<Fo, ThematicError> {
+    match formula {
+        Formula::Rel(r, p, q) => {
+            let a = name_term(p)?;
+            let b = name_term(q)?;
+            Ok(relation_formula(*r, &a, &b))
+        }
+        Formula::Connect(p, q) => {
+            let a = name_term(p)?;
+            let b = name_term(q)?;
+            Ok(Fo::not(relation_formula(Relation4::Disjoint, &a, &b)))
+        }
+        Formula::Subset(p, q) => {
+            let a = name_term(p)?;
+            let b = name_term(q)?;
+            Ok(subset_formula(&a, &b))
+        }
+        Formula::NameEq(a, b) => Ok(Fo::equals(to_term(a), to_term(b))),
+        Formula::Not(f) => Ok(Fo::not(translate(f)?)),
+        Formula::And(fs) => Ok(Fo::and(fs.iter().map(translate).collect::<Result<_, _>>()?)),
+        Formula::Or(fs) => Ok(Fo::or(fs.iter().map(translate).collect::<Result<_, _>>()?)),
+        Formula::ExistsName(v, f) => Ok(Fo::exists(
+            v.clone(),
+            Fo::and(vec![
+                Fo::atom("Regions", vec![Term::var(v.clone())]),
+                translate(f)?,
+            ]),
+        )),
+        Formula::ForallName(v, f) => Ok(Fo::forall(
+            v.clone(),
+            Fo::implies(Fo::atom("Regions", vec![Term::var(v.clone())]), translate(f)?),
+        )),
+        Formula::ExistsRegion(v, _) | Formula::ForallRegion(v, _) => {
+            Err(ThematicError::RegionQuantifier(v.clone()))
+        }
+    }
+}
+
+/// Evaluate a region-quantifier-free sentence against a thematic database.
+pub fn eval_on_thematic(db: &Database, formula: &Formula) -> Result<bool, ThematicError> {
+    let fo = translate(formula)?;
+    Ok(relstore::fo::eval_sentence(db, &fo))
+}
+
+fn name_term(e: &RegionExpr) -> Result<Term, ThematicError> {
+    match e {
+        RegionExpr::Ext(t) => Ok(to_term(t)),
+        RegionExpr::Var(v) => Err(ThematicError::RegionVariable(v.clone())),
+    }
+}
+
+fn to_term(t: &NameTerm) -> Term {
+    match t {
+        NameTerm::Var(v) => Term::var(v.clone()),
+        NameTerm::Const(c) => Term::val(c.as_str()),
+    }
+}
+
+/// `∃f. RegionFaces(a, f) ∧ RegionFaces(b, f)` — the interiors intersect.
+fn interiors_intersect(a: &Term, b: &Term) -> Fo {
+    let f = fresh("f");
+    Fo::exists(
+        f.clone(),
+        Fo::and(vec![
+            Fo::atom("RegionFaces", vec![a.clone(), Term::var(f.clone())]),
+            Fo::atom("RegionFaces", vec![b.clone(), Term::var(f)]),
+        ]),
+    )
+}
+
+/// `a ⊆ b`: every face of `a` is a face of `b`.
+fn subset_formula(a: &Term, b: &Term) -> Fo {
+    let f = fresh("f");
+    Fo::forall(
+        f.clone(),
+        Fo::implies(
+            Fo::atom("RegionFaces", vec![a.clone(), Term::var(f.clone())]),
+            Fo::atom("RegionFaces", vec![b.clone(), Term::var(f)]),
+        ),
+    )
+}
+
+/// Is edge `e` on the boundary of region `a`? It is iff its two incident
+/// faces disagree about membership in `a`; incidence is read from `FaceEdges`.
+fn edge_on_boundary(e: &str, a: &Term) -> Fo {
+    let f1 = fresh("f");
+    let f2 = fresh("f");
+    Fo::exists(
+        f1.clone(),
+        Fo::exists(
+            f2.clone(),
+            Fo::and(vec![
+                Fo::atom("FaceEdges", vec![Term::var(f1.clone()), Term::var(e)]),
+                Fo::atom("FaceEdges", vec![Term::var(f2.clone()), Term::var(e)]),
+                Fo::atom("RegionFaces", vec![a.clone(), Term::var(f1)]),
+                Fo::not(Fo::atom("RegionFaces", vec![a.clone(), Term::var(f2)])),
+            ]),
+        ),
+    )
+}
+
+/// Is edge `e` interior to region `a`? (On no boundary side: some incident
+/// face is in `a` and it is not a boundary edge of `a`.)
+fn edge_interior(e: &str, a: &Term) -> Fo {
+    let f = fresh("f");
+    Fo::and(vec![
+        Fo::exists(
+            f.clone(),
+            Fo::and(vec![
+                Fo::atom("FaceEdges", vec![Term::var(f.clone()), Term::var(e)]),
+                Fo::atom("RegionFaces", vec![a.clone(), Term::var(f)]),
+            ]),
+        ),
+        Fo::not(edge_on_boundary(e, a)),
+    ])
+}
+
+/// Is vertex `v` on the boundary of `a`? Iff it is an endpoint of an edge on
+/// the boundary of `a`.
+fn vertex_on_boundary(v: &str, a: &Term) -> Fo {
+    let e = fresh("e");
+    Fo::exists(e.clone(), Fo::and(vec![endpoint_of(&e, v), edge_on_boundary(&e, a)]))
+}
+
+/// `v` is an endpoint of `e` (in either position of the Endpoints relation).
+fn endpoint_of(e: &str, v: &str) -> Fo {
+    let other = fresh("u");
+    Fo::or(vec![
+        Fo::exists(
+            other.clone(),
+            Fo::atom("Endpoints", vec![Term::var(e), Term::var(v), Term::var(other.clone())]),
+        ),
+        Fo::exists(
+            other.clone(),
+            Fo::atom("Endpoints", vec![Term::var(e), Term::var(other), Term::var(v)]),
+        ),
+    ])
+}
+
+/// Do the boundaries of `a` and `b` intersect? Either a common boundary edge
+/// exists, or a vertex lies on both boundaries.
+fn boundaries_intersect(a: &Term, b: &Term) -> Fo {
+    let e = fresh("e");
+    let v = fresh("v");
+    Fo::or(vec![
+        Fo::exists(
+            e.clone(),
+            Fo::and(vec![edge_on_boundary(&e, a), edge_on_boundary(&e, b)]),
+        ),
+        Fo::exists(
+            v.clone(),
+            Fo::and(vec![
+                Fo::atom("Vertices", vec![Term::var(v.clone())]),
+                vertex_on_boundary(&v, a),
+                vertex_on_boundary(&v, b),
+            ]),
+        ),
+    ])
+}
+
+/// Does the interior of `a` meet the boundary of `b`? Either a boundary edge
+/// of `b` is interior to `a`, or a boundary vertex of `b` is "inside" `a`
+/// (not on `a`'s boundary but incident to a cell of `a`).
+fn interior_meets_boundary(a: &Term, b: &Term) -> Fo {
+    let e = fresh("e");
+    let v = fresh("v");
+    let e2 = fresh("e");
+    Fo::or(vec![
+        Fo::exists(
+            e.clone(),
+            Fo::and(vec![edge_on_boundary(&e, b), edge_interior(&e, a)]),
+        ),
+        Fo::exists(
+            v.clone(),
+            Fo::and(vec![
+                Fo::atom("Vertices", vec![Term::var(v.clone())]),
+                vertex_on_boundary(&v, b),
+                Fo::not(vertex_on_boundary(&v, a)),
+                Fo::exists(
+                    e2.clone(),
+                    Fo::and(vec![endpoint_of(&e2, &v), edge_interior(&e2, a)]),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The translation of a 4-intersection relation atom between two named
+/// regions into a first-order formula over `Th`, following the relation's
+/// defining 4-intersection matrix.
+fn relation_formula(r: Relation4, a: &Term, b: &Term) -> Fo {
+    let m = r.to_matrix();
+    let lit = |cond: bool, f: Fo| if cond { f } else { Fo::not(f) };
+    Fo::and(vec![
+        lit(m.interiors, interiors_intersect(a, b)),
+        lit(m.boundaries, boundaries_intersect(a, b)),
+        lit(m.interior_a_boundary_b, interior_meets_boundary(a, b)),
+        lit(m.boundary_a_interior_b, interior_meets_boundary(b, a)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Formula as F, RegionExpr as R};
+    use invariant::thematic::to_database;
+    use invariant::Invariant;
+    use spatial_core::fixtures;
+    use spatial_core::prelude::SpatialInstance;
+
+    fn thematic(inst: &SpatialInstance) -> Database {
+        to_database(&Invariant::of_instance(inst))
+    }
+
+    #[test]
+    fn relation_atoms_answered_on_the_thematic_database() {
+        // Corollary 3.7 in action: the relational query gives the same answer
+        // as the geometric computation, for every relation and every Fig. 2
+        // configuration.
+        for (name, inst) in fixtures::fig_2_pairs() {
+            let db = thematic(&inst);
+            let expected = Relation4::from_name(name).unwrap();
+            for r in Relation4::ALL {
+                let q = F::rel(r, R::named("A"), R::named("B"));
+                assert_eq!(
+                    eval_on_thematic(&db, &q),
+                    Ok(r == expected),
+                    "{name} vs atom {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_quantifiers_on_thematic() {
+        // ∃a ∃b. ¬(a = b) ∧ overlap(a, b)
+        let q = F::exists_name(
+            "a",
+            F::exists_name(
+                "b",
+                F::and(vec![
+                    F::not(F::NameEq(NameTerm::Var("a".into()), NameTerm::Var("b".into()))),
+                    F::rel(
+                        Relation4::Overlap,
+                        R::Ext(NameTerm::Var("a".into())),
+                        R::Ext(NameTerm::Var("b".into())),
+                    ),
+                ]),
+            ),
+        );
+        assert_eq!(eval_on_thematic(&thematic(&fixtures::fig_1a()), &q), Ok(true));
+        assert_eq!(eval_on_thematic(&thematic(&fixtures::nested_three()), &q), Ok(false));
+    }
+
+    #[test]
+    fn subset_and_connect_translation() {
+        let db = thematic(&fixtures::nested_three());
+        let sub = F::subset(R::named("C"), R::named("A"));
+        assert_eq!(eval_on_thematic(&db, &sub), Ok(true));
+        let sub2 = F::subset(R::named("A"), R::named("C"));
+        assert_eq!(eval_on_thematic(&db, &sub2), Ok(false));
+        let con = F::connect(R::named("A"), R::named("B"));
+        assert_eq!(eval_on_thematic(&db, &con), Ok(true));
+    }
+
+    #[test]
+    fn region_quantifiers_are_rejected() {
+        let db = thematic(&fixtures::fig_1a());
+        let q = F::exists_region("r", F::subset(R::var("r"), R::named("A")));
+        assert!(matches!(eval_on_thematic(&db, &q), Err(ThematicError::RegionQuantifier(_))));
+        let q2 = F::connect(R::var("r"), R::named("A"));
+        assert!(matches!(eval_on_thematic(&db, &q2), Err(ThematicError::RegionVariable(_))));
+    }
+
+    #[test]
+    fn agreement_with_cell_evaluator_on_pairwise_relations() {
+        for inst in [fixtures::fig_1a(), fixtures::shared_boundary()] {
+            let db = thematic(&inst);
+            let names = inst.names();
+            for a in &names {
+                for b in &names {
+                    if a == b {
+                        continue;
+                    }
+                    for r in Relation4::ALL {
+                        let q = F::rel(r, R::named(*a), R::named(*b));
+                        let geometric = crate::cell_eval::eval_on_instance(&inst, &q).unwrap();
+                        let relational = eval_on_thematic(&db, &q).unwrap();
+                        assert_eq!(geometric, relational, "{a} {r} {b}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The composition algebra of the 4-intersection relations.
+//!
+//! Given `R(A, B)` and `R(B, C)`, the composition table lists which relations
+//! `R(A, C)` are possible. This is the (weak) composition table of RCC8 /
+//! the Egenhofer relations, the algebraic backbone of topological inference
+//! over the existential fragment of the paper's languages ([GPP95],
+//! Section 6 of the paper).
+
+use crate::relation::Relation4;
+use std::collections::BTreeSet;
+
+/// A set of 4-intersection relations, represented as a bitmask over
+/// [`Relation4::ALL`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelationSet(u8);
+
+impl RelationSet {
+    /// The empty set (an unsatisfiable constraint).
+    pub const EMPTY: RelationSet = RelationSet(0);
+    /// The universal set (no constraint).
+    pub const ALL: RelationSet = RelationSet(0xFF);
+
+    fn bit(r: Relation4) -> u8 {
+        1 << (Relation4::ALL.iter().position(|&x| x == r).unwrap() as u8)
+    }
+
+    /// The singleton set.
+    pub fn singleton(r: Relation4) -> RelationSet {
+        RelationSet(Self::bit(r))
+    }
+
+    /// Build a set from a slice of relations.
+    pub fn from_slice(rs: &[Relation4]) -> RelationSet {
+        RelationSet(rs.iter().fold(0, |acc, &r| acc | Self::bit(r)))
+    }
+
+    /// Does the set contain the relation?
+    pub fn contains(self, r: Relation4) -> bool {
+        self.0 & Self::bit(r) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 & other.0)
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of relations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over the members.
+    pub fn iter(self) -> impl Iterator<Item = Relation4> {
+        Relation4::ALL.into_iter().filter(move |&r| self.contains(r))
+    }
+
+    /// The set of converses of the members.
+    pub fn inverse(self) -> RelationSet {
+        RelationSet::from_slice(&self.iter().map(Relation4::inverse).collect::<Vec<_>>())
+    }
+
+    /// The members as a sorted set.
+    pub fn to_set(self) -> BTreeSet<Relation4> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<Relation4> for RelationSet {
+    fn from_iter<I: IntoIterator<Item = Relation4>>(iter: I) -> Self {
+        iter.into_iter().fold(RelationSet::EMPTY, |acc, r| acc.union(RelationSet::singleton(r)))
+    }
+}
+
+/// The weak composition of two base relations: the set of relations possible
+/// between `A` and `C` given `r1(A, B)` and `r2(B, C)`.
+pub fn compose(r1: Relation4, r2: Relation4) -> RelationSet {
+    use Relation4::*;
+    // Shorthands for frequently used sets.
+    let all = RelationSet::ALL;
+    let s = RelationSet::from_slice;
+    if r1 == Equal {
+        return RelationSet::singleton(r2);
+    }
+    if r2 == Equal {
+        return RelationSet::singleton(r1);
+    }
+    match (r1, r2) {
+        // --- Disjoint (DC) ---
+        (Disjoint, Disjoint) => all,
+        (Disjoint, Meet) | (Disjoint, Overlap) | (Disjoint, CoveredBy) | (Disjoint, Inside) => {
+            s(&[Disjoint, Meet, Overlap, CoveredBy, Inside])
+        }
+        (Disjoint, Covers) | (Disjoint, Contains) => s(&[Disjoint]),
+
+        // --- Meet (EC) ---
+        (Meet, Disjoint) => s(&[Disjoint, Meet, Overlap, Covers, Contains]),
+        (Meet, Meet) => s(&[Disjoint, Meet, Overlap, CoveredBy, Covers, Equal]),
+        (Meet, Overlap) => s(&[Disjoint, Meet, Overlap, CoveredBy, Inside]),
+        (Meet, CoveredBy) => s(&[Meet, Overlap, CoveredBy, Inside]),
+        (Meet, Inside) => s(&[Overlap, CoveredBy, Inside]),
+        (Meet, Covers) => s(&[Disjoint, Meet]),
+        (Meet, Contains) => s(&[Disjoint]),
+
+        // --- Overlap (PO) ---
+        (Overlap, Disjoint) | (Overlap, Meet) => s(&[Disjoint, Meet, Overlap, Covers, Contains]),
+        (Overlap, Overlap) => all,
+        (Overlap, CoveredBy) | (Overlap, Inside) => s(&[Overlap, CoveredBy, Inside]),
+        (Overlap, Covers) | (Overlap, Contains) => s(&[Disjoint, Meet, Overlap, Covers, Contains]),
+
+        // --- CoveredBy (TPP) ---
+        (CoveredBy, Disjoint) => s(&[Disjoint]),
+        (CoveredBy, Meet) => s(&[Disjoint, Meet]),
+        (CoveredBy, Overlap) => s(&[Disjoint, Meet, Overlap, CoveredBy, Inside]),
+        (CoveredBy, CoveredBy) => s(&[CoveredBy, Inside]),
+        (CoveredBy, Inside) => s(&[Inside]),
+        (CoveredBy, Covers) => s(&[Disjoint, Meet, Overlap, CoveredBy, Covers, Equal]),
+        (CoveredBy, Contains) => s(&[Disjoint, Meet, Overlap, Covers, Contains]),
+
+        // --- Inside (NTPP) ---
+        (Inside, Disjoint) | (Inside, Meet) => s(&[Disjoint]),
+        (Inside, Overlap) => s(&[Disjoint, Meet, Overlap, CoveredBy, Inside]),
+        (Inside, CoveredBy) | (Inside, Inside) => s(&[Inside]),
+        (Inside, Covers) => s(&[Disjoint, Meet, Overlap, CoveredBy, Inside]),
+        (Inside, Contains) => all,
+
+        // --- Covers (TPPi) ---
+        (Covers, Disjoint) => s(&[Disjoint, Meet, Overlap, Covers, Contains]),
+        (Covers, Meet) => s(&[Meet, Overlap, Covers, Contains]),
+        (Covers, Overlap) => s(&[Overlap, Covers, Contains]),
+        (Covers, CoveredBy) => s(&[Overlap, CoveredBy, Covers, Equal]),
+        (Covers, Inside) => s(&[Overlap, CoveredBy, Inside]),
+        (Covers, Covers) => s(&[Covers, Contains]),
+        (Covers, Contains) => s(&[Contains]),
+
+        // --- Contains (NTPPi) ---
+        (Contains, Disjoint) => s(&[Disjoint, Meet, Overlap, Covers, Contains]),
+        (Contains, Meet) | (Contains, Overlap) | (Contains, CoveredBy) => {
+            s(&[Overlap, Covers, Contains])
+        }
+        (Contains, Inside) => {
+            s(&[Overlap, CoveredBy, Inside, Covers, Contains, Equal])
+        }
+        (Contains, Covers) | (Contains, Contains) => s(&[Contains]),
+
+        // Equal handled above.
+        (Equal, _) | (_, Equal) => unreachable!("handled before the match"),
+    }
+}
+
+/// Weak composition lifted to sets of relations.
+pub fn compose_sets(a: RelationSet, b: RelationSet) -> RelationSet {
+    let mut out = RelationSet::EMPTY;
+    for r1 in a.iter() {
+        for r2 in b.iter() {
+            out = out.union(compose(r1, r2));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Relation4::*;
+
+    #[test]
+    fn relation_set_basics() {
+        let s = RelationSet::from_slice(&[Disjoint, Meet]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Disjoint));
+        assert!(!s.contains(Overlap));
+        assert!(!s.is_empty());
+        assert!(RelationSet::EMPTY.is_empty());
+        assert_eq!(RelationSet::ALL.len(), 8);
+        assert_eq!(s.union(RelationSet::singleton(Overlap)).len(), 3);
+        assert_eq!(s.intersect(RelationSet::singleton(Meet)).len(), 1);
+        assert_eq!(s.inverse(), s); // Disjoint and Meet are self-converse.
+        let t = RelationSet::from_slice(&[Contains, Covers]);
+        assert_eq!(t.inverse(), RelationSet::from_slice(&[Inside, CoveredBy]));
+        let collected: RelationSet = [Equal, Equal, Inside].into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn equality_is_identity_for_composition() {
+        for r in Relation4::ALL {
+            assert_eq!(compose(Equal, r), RelationSet::singleton(r));
+            assert_eq!(compose(r, Equal), RelationSet::singleton(r));
+        }
+    }
+
+    #[test]
+    fn composition_converse_law() {
+        // compose(r1, r2) = converse(compose(converse(r2), converse(r1)))
+        for r1 in Relation4::ALL {
+            for r2 in Relation4::ALL {
+                let lhs = compose(r1, r2);
+                let rhs = compose(r2.inverse(), r1.inverse()).inverse();
+                assert_eq!(lhs.to_set(), rhs.to_set(), "converse law fails for {r1} ; {r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_contains_identity_witnesses() {
+        // r ∈ compose(r, converse(r)) would not hold in general, but
+        // Equal ∈ compose(r, converse(r)) must hold (take C = A).
+        for r in Relation4::ALL {
+            assert!(
+                compose(r, r.inverse()).contains(Equal),
+                "Equal missing from {r} ; {}",
+                r.inverse()
+            );
+        }
+    }
+
+    #[test]
+    fn some_well_known_entries() {
+        assert_eq!(compose(Inside, Inside), RelationSet::singleton(Inside));
+        assert_eq!(compose(Contains, Contains), RelationSet::singleton(Contains));
+        assert_eq!(compose(Inside, Disjoint), RelationSet::singleton(Disjoint));
+        assert_eq!(compose(Disjoint, Contains), RelationSet::singleton(Disjoint));
+        assert_eq!(compose(Disjoint, Disjoint), RelationSet::ALL);
+        assert_eq!(compose(Inside, Contains), RelationSet::ALL);
+        assert_eq!(compose(Meet, Contains), RelationSet::singleton(Disjoint));
+        assert_eq!(
+            compose(Covers, Covers),
+            RelationSet::from_slice(&[Covers, Contains])
+        );
+    }
+
+    #[test]
+    fn compose_sets_distributes() {
+        let a = RelationSet::from_slice(&[Inside, Equal]);
+        let b = RelationSet::from_slice(&[Disjoint]);
+        assert_eq!(
+            compose_sets(a, b).to_set(),
+            compose(Inside, Disjoint).union(compose(Equal, Disjoint)).to_set()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # relations
+//!
+//! The 4-intersection (Egenhofer) topological relations between plane
+//! regions, their 9-intersection refinement, the composition algebra and
+//! topological-inference (constraint network) reasoning.
+//!
+//! In the paper these relations are the starting point of the region-based
+//! query languages (Section 2, Fig. 2): `disjoint`, `meet`, `overlap`,
+//! `equal`, `contains`, `inside`, `covers`, `covered_by`. The paper shows
+//! that pairwise relations alone do *not* determine an instance up to
+//! homeomorphism (Fig. 1) — the demonstration of exactly that fact is one of
+//! the reproduced experiments — and then builds complete languages by closing
+//! them under quantification over regions.
+//!
+//! ## Example
+//!
+//! ```
+//! use relations::{relation_between, Relation4};
+//! use spatial_core::prelude::*;
+//!
+//! let a = Region::rect_from_ints(0, 0, 4, 4);
+//! let b = Region::rect_from_ints(2, 2, 6, 6);
+//! let c = Region::rect_from_ints(0, 1, 2, 2);
+//! assert_eq!(relation_between(&a, &b), Relation4::Overlap);
+//! assert_eq!(relation_between(&a, &c), Relation4::Covers);
+//! assert_eq!(relation_between(&c, &a), Relation4::CoveredBy);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod composition;
+pub mod network;
+pub mod relation;
+
+pub use composition::{compose, compose_sets, RelationSet};
+pub use network::{network_of_instance, ConstraintNetwork, Scenario};
+pub use relation::{
+    all_pairwise_relations, four_intersection_equivalent, matrix_between, matrix_in_complex,
+    nine_matrix_between, nine_matrix_in_complex, relation_between, relation_in_complex,
+    FourIntersectionMatrix, NineIntersectionMatrix, Relation4,
+};

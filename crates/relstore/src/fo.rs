@@ -1,0 +1,378 @@
+//! First-order (relational calculus) queries over finite relational
+//! structures, with active-domain semantics.
+//!
+//! Corollary 3.7 of the paper reduces every topological query on a spatial
+//! instance `I` to a classical query on the relational instance
+//! `thematic(I)`. This module provides the classical query language for that
+//! reduction: first-order logic with equality over the database relations,
+//! quantifiers ranging over the active domain.
+
+use crate::database::Database;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A term: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var<S: Into<String>>(name: S) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// A constant term.
+    pub fn val<V: Into<Value>>(v: V) -> Term {
+        Term::Const(v.into())
+    }
+}
+
+/// A first-order formula over the database schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// `R(t1, ..., tk)` — relation membership.
+    Atom(String, Vec<Term>),
+    /// `t1 = t2`.
+    Equals(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of any number of formulas (empty conjunction is true).
+    And(Vec<Formula>),
+    /// Disjunction of any number of formulas (empty disjunction is false).
+    Or(Vec<Formula>),
+    /// Existential quantification over the active domain.
+    Exists(String, Box<Formula>),
+    /// Universal quantification over the active domain.
+    Forall(String, Box<Formula>),
+}
+
+impl Formula {
+    /// `R(t1, ..., tk)`.
+    pub fn atom<S: Into<String>>(rel: S, terms: Vec<Term>) -> Formula {
+        Formula::Atom(rel.into(), terms)
+    }
+
+    /// `t1 = t2`.
+    pub fn equals(a: Term, b: Term) -> Formula {
+        Formula::Equals(a, b)
+    }
+
+    /// Negation.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Conjunction.
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        Formula::And(fs)
+    }
+
+    /// Disjunction.
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        Formula::Or(fs)
+    }
+
+    /// Implication `a -> b`, as `¬a ∨ b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![Formula::not(a), b])
+    }
+
+    /// Existential quantifier.
+    pub fn exists<S: Into<String>>(var: S, f: Formula) -> Formula {
+        Formula::Exists(var.into(), Box::new(f))
+    }
+
+    /// Universal quantifier.
+    pub fn forall<S: Into<String>>(var: S, f: Formula) -> Formula {
+        Formula::Forall(var.into(), Box::new(f))
+    }
+
+    /// The free variables of the formula, in first-occurrence order.
+    pub fn free_variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        let mut add = |name: &String, bound: &Vec<String>, out: &mut Vec<String>| {
+            if !bound.contains(name) && !out.contains(name) {
+                out.push(name.clone());
+            }
+        };
+        match self {
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let Term::Var(v) = t {
+                        add(v, bound, out);
+                    }
+                }
+            }
+            Formula::Equals(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        add(v, bound, out);
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                bound.push(v.clone());
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Count quantifiers (a crude measure of query complexity, used by the
+    /// query-complexity benchmarks).
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            Formula::Atom(_, _) | Formula::Equals(_, _) => 0,
+            Formula::Not(f) => f.quantifier_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_depth()).max().unwrap_or(0)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+}
+
+/// A variable assignment.
+pub type Assignment = BTreeMap<String, Value>;
+
+/// Evaluate a formula on a database under an assignment of its free
+/// variables. Quantifiers range over the active domain of the database.
+pub fn eval(db: &Database, formula: &Formula, assignment: &Assignment) -> bool {
+    let domain: Vec<Value> = db.active_domain().into_iter().collect();
+    eval_inner(db, &domain, formula, &mut assignment.clone())
+}
+
+/// Evaluate a sentence (no free variables).
+pub fn eval_sentence(db: &Database, formula: &Formula) -> bool {
+    eval(db, formula, &Assignment::new())
+}
+
+/// Evaluate a formula with free variables and return all satisfying
+/// assignments, as tuples ordered by the formula's free-variable order.
+pub fn query(db: &Database, formula: &Formula) -> Vec<Vec<Value>> {
+    let free = formula.free_variables();
+    let domain: Vec<Value> = db.active_domain().into_iter().collect();
+    let mut results = Vec::new();
+    let mut assignment = Assignment::new();
+    enumerate(db, &domain, formula, &free, 0, &mut assignment, &mut results);
+    results
+}
+
+fn enumerate(
+    db: &Database,
+    domain: &[Value],
+    formula: &Formula,
+    free: &[String],
+    idx: usize,
+    assignment: &mut Assignment,
+    results: &mut Vec<Vec<Value>>,
+) {
+    if idx == free.len() {
+        if eval_inner(db, domain, formula, &mut assignment.clone()) {
+            results.push(free.iter().map(|v| assignment[v].clone()).collect());
+        }
+        return;
+    }
+    for value in domain {
+        assignment.insert(free[idx].clone(), value.clone());
+        enumerate(db, domain, formula, free, idx + 1, assignment, results);
+    }
+    assignment.remove(&free[idx]);
+}
+
+fn resolve(term: &Term, assignment: &Assignment) -> Value {
+    match term {
+        Term::Const(v) => v.clone(),
+        Term::Var(name) => assignment
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| panic!("unbound variable `{name}`")),
+    }
+}
+
+fn eval_inner(db: &Database, domain: &[Value], formula: &Formula, assignment: &mut Assignment) -> bool {
+    match formula {
+        Formula::Atom(rel, terms) => {
+            let tuple: Vec<Value> = terms.iter().map(|t| resolve(t, assignment)).collect();
+            db.holds(rel, &tuple)
+        }
+        Formula::Equals(a, b) => resolve(a, assignment) == resolve(b, assignment),
+        Formula::Not(f) => !eval_inner(db, domain, f, assignment),
+        Formula::And(fs) => fs.iter().all(|f| eval_inner(db, domain, f, assignment)),
+        Formula::Or(fs) => fs.iter().any(|f| eval_inner(db, domain, f, assignment)),
+        Formula::Exists(v, f) => {
+            let saved = assignment.get(v).cloned();
+            let mut found = false;
+            for value in domain {
+                assignment.insert(v.clone(), value.clone());
+                if eval_inner(db, domain, f, assignment) {
+                    found = true;
+                    break;
+                }
+            }
+            restore(assignment, v, saved);
+            found
+        }
+        Formula::Forall(v, f) => {
+            let saved = assignment.get(v).cloned();
+            let mut holds = true;
+            for value in domain {
+                assignment.insert(v.clone(), value.clone());
+                if !eval_inner(db, domain, f, assignment) {
+                    holds = false;
+                    break;
+                }
+            }
+            restore(assignment, v, saved);
+            holds
+        }
+    }
+}
+
+fn restore(assignment: &mut Assignment, var: &str, saved: Option<Value>) {
+    match saved {
+        Some(v) => {
+            assignment.insert(var.to_string(), v);
+        }
+        None => {
+            assignment.remove(var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn graph() -> Database {
+        // A directed path a -> b -> c -> d.
+        let mut db = Database::new();
+        db.insert("edge", tuple!["a", "b"]);
+        db.insert("edge", tuple!["b", "c"]);
+        db.insert("edge", tuple!["c", "d"]);
+        db
+    }
+
+    fn edge(x: &str, y: &str) -> Formula {
+        Formula::atom("edge", vec![Term::var(x), Term::var(y)])
+    }
+
+    #[test]
+    fn sentences() {
+        let db = graph();
+        // There is an edge.
+        let f = Formula::exists("x", Formula::exists("y", edge("x", "y")));
+        assert!(eval_sentence(&db, &f));
+        // Every node with an outgoing edge... trivial test: all edges start at "a"? false.
+        let all_from_a = Formula::forall(
+            "x",
+            Formula::forall(
+                "y",
+                Formula::implies(edge("x", "y"), Formula::equals(Term::var("x"), Term::val("a"))),
+            ),
+        );
+        assert!(!eval_sentence(&db, &all_from_a));
+        // There is a path of length 2.
+        let path2 = Formula::exists(
+            "x",
+            Formula::exists(
+                "y",
+                Formula::exists("z", Formula::and(vec![edge("x", "y"), edge("y", "z")])),
+            ),
+        );
+        assert!(eval_sentence(&db, &path2));
+        // There is a path of length 4 (false on a 3-edge path).
+        let path4 = Formula::exists(
+            "a",
+            Formula::exists(
+                "b",
+                Formula::exists(
+                    "c",
+                    Formula::exists(
+                        "d",
+                        Formula::exists(
+                            "e",
+                            Formula::and(vec![
+                                edge("a", "b"),
+                                edge("b", "c"),
+                                edge("c", "d"),
+                                edge("d", "e"),
+                            ]),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        assert!(!eval_sentence(&db, &path4));
+    }
+
+    #[test]
+    fn queries_with_free_variables() {
+        let db = graph();
+        // Nodes with both an incoming and an outgoing edge: b and c.
+        let f = Formula::and(vec![
+            Formula::exists("p", edge("p", "x")),
+            Formula::exists("q", edge("x", "q")),
+        ]);
+        let rows = query(&db, &f);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Value::sym("b")]));
+        assert!(rows.contains(&vec![Value::sym("c")]));
+    }
+
+    #[test]
+    fn free_variable_collection_and_depth() {
+        let f = Formula::exists("x", Formula::and(vec![edge("x", "y"), edge("y", "z")]));
+        assert_eq!(f.free_variables(), vec!["y".to_string(), "z".to_string()]);
+        assert_eq!(f.quantifier_depth(), 1);
+        let g = Formula::forall("a", Formula::exists("b", edge("a", "b")));
+        assert_eq!(g.quantifier_depth(), 2);
+        assert!(g.free_variables().is_empty());
+    }
+
+    #[test]
+    fn negation_and_equality() {
+        let db = graph();
+        // "a" has no incoming edges.
+        let no_incoming = Formula::not(Formula::exists(
+            "x",
+            Formula::atom("edge", vec![Term::var("x"), Term::val("a")]),
+        ));
+        assert!(eval_sentence(&db, &no_incoming));
+        // Constants vs variables in equality.
+        let f = Formula::exists(
+            "x",
+            Formula::and(vec![
+                Formula::equals(Term::var("x"), Term::val("b")),
+                Formula::exists("y", edge("x", "y")),
+            ]),
+        );
+        assert!(eval_sentence(&db, &f));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics() {
+        let db = graph();
+        let f = edge("x", "y");
+        eval_sentence(&db, &f);
+    }
+}

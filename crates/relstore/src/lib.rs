@@ -1,0 +1,40 @@
+//! # relstore
+//!
+//! A small, exact, in-memory relational database engine: relations over
+//! symbolic and integer constants, a relational algebra, and a first-order
+//! (relational calculus) query evaluator with active-domain semantics.
+//!
+//! In the reproduction of *"Topological Queries in Spatial Databases"* this
+//! crate plays the role of the **classical database system** on the other
+//! side of the paper's thematic bridge (Section 3, Corollary 3.7): the
+//! topological invariant `T_I` of a spatial instance is stored as a
+//! relational instance over the fixed schema `Th`, and topological queries
+//! are answered by ordinary first-order queries against it.
+//!
+//! ## Example
+//!
+//! ```
+//! use relstore::{Database, tuple};
+//! use relstore::fo::{eval_sentence, Formula, Term};
+//!
+//! let mut db = Database::new();
+//! db.insert("edge", tuple!["a", "b"]);
+//! db.insert("edge", tuple!["b", "a"]);
+//!
+//! // ∃x ∃y. edge(x, y) ∧ edge(y, x)
+//! let f = Formula::exists("x", Formula::exists("y", Formula::and(vec![
+//!     Formula::atom("edge", vec![Term::var("x"), Term::var("y")]),
+//!     Formula::atom("edge", vec![Term::var("y"), Term::var("x")]),
+//! ])));
+//! assert!(eval_sentence(&db, &f));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod fo;
+pub mod value;
+
+pub use database::{Database, Relation};
+pub use value::{Tuple, Value};

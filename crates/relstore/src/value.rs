@@ -1,0 +1,115 @@
+//! Values and tuples of the in-memory relational store.
+
+use std::fmt;
+
+/// A constant appearing in a relational database: a symbol (string) or an
+/// integer. The thematic mapping of the paper only needs symbols for cell and
+//  region identifiers, but integers are handy for derived data.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A symbolic constant (e.g. a region name or a cell identifier).
+    Sym(String),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Value {
+    /// Construct a symbolic constant.
+    pub fn sym<S: Into<String>>(s: S) -> Value {
+        Value::Sym(s.into())
+    }
+
+    /// Construct an integer constant.
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// The symbol, if this is a symbolic constant.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Value::Sym(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// The integer, if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Sym(_) => None,
+            Value::Int(v) => Some(*v),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Sym(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Sym(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+/// A tuple of values.
+pub type Tuple = Vec<Value>;
+
+/// Build a tuple from anything convertible to values.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("a"), Value::Sym("a".into()));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::sym("x").as_sym(), Some("x"));
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::sym("x").as_int(), None);
+        assert_eq!(Value::int(7).as_sym(), None);
+    }
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(format!("{}", Value::sym("v1")), "v1");
+        assert_eq!(format!("{}", Value::int(-4)), "-4");
+        assert!(Value::Int(1) < Value::Sym("a".into()) || Value::Sym("a".into()) < Value::Int(1));
+    }
+
+    #[test]
+    fn tuple_macro() {
+        let t: Tuple = tuple!["a", 1i64, "b"];
+        assert_eq!(t, vec![Value::sym("a"), Value::int(1), Value::sym("b")]);
+    }
+}

@@ -1,0 +1,63 @@
+//! # spatial-core
+//!
+//! Geometric and model-level substrate for the reproduction of
+//! *"Topological Queries in Spatial Databases"* (Papadimitriou, Suciu, Vianu;
+//! PODS 1996 / JCSS 1999).
+//!
+//! This crate provides:
+//!
+//! * exact rational arithmetic ([`rational`]),
+//! * exact planar geometry: points, segments and simple polygons
+//!   ([`point`], [`segment`], [`polygon`]),
+//! * the paper's spatial data model: regions stratified into the classes
+//!   `Rect ⊂ Rect* ⊂ Disc` and `Poly ⊂ Alg ⊂ Disc` ([`region`]) and spatial
+//!   database instances mapping names to regions ([`instance`]),
+//! * the permutation groups `S`, `L`, `H` used to define `G`-genericity
+//!   ([`transform`]),
+//! * fixture instances reproducing the paper's figures ([`fixtures`]).
+//!
+//! Everything downstream — the planar arrangement (`arrangement` crate), the
+//! topological invariant `T_I` (`invariant` crate), the 4-intersection
+//! relations (`relations` crate) and the query languages (`query` crate) — is
+//! built on these types.
+//!
+//! ## Example
+//!
+//! ```
+//! use spatial_core::prelude::*;
+//!
+//! // The paper's Fig. 1c: two overlapping regions.
+//! let inst = spatial_core::fixtures::fig_1c();
+//! assert_eq!(inst.names(), vec!["A", "B"]);
+//! assert_eq!(inst.common_class(), RegionClass::Rect);
+//!
+//! // Regions answer exact point-location queries.
+//! let a = inst.ext("A").unwrap();
+//! assert_eq!(a.locate(&pt(1, 1)), Location::Inside);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod instance;
+pub mod point;
+pub mod polygon;
+pub mod rational;
+pub mod region;
+pub mod segment;
+pub mod transform;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::instance::SpatialInstance;
+    pub use crate::point::{orient, pt, ptr, Orientation, Point, Vector};
+    pub use crate::polygon::{Location, Polygon};
+    pub use crate::rational::{rat, Rational};
+    pub use crate::region::{Rect, Region, RegionClass};
+    pub use crate::segment::{seg, Segment, SegmentIntersection};
+    pub use crate::transform::{
+        class_invariant_under, genericity_group, AffineMap, Group, MonotoneMap, PlaneTransform,
+        Symmetry, TwoPieceLinear,
+    };
+}

@@ -1,0 +1,408 @@
+//! Simple polygons with exact rational vertices.
+//!
+//! A [`Polygon`] models the *closed polygonal curve* bounding one of the
+//! paper's `Poly` regions: the region itself is the open, bounded, simply
+//! connected set enclosed by the curve. The curve must be simple
+//! (non-self-intersecting) and have non-zero area.
+
+use crate::point::{orient, Orientation, Point};
+use crate::rational::Rational;
+use crate::segment::{Segment, SegmentIntersection};
+use std::fmt;
+
+/// Where a point lies relative to a region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Location {
+    /// In the topological interior.
+    Inside,
+    /// On the topological boundary.
+    Boundary,
+    /// In the exterior.
+    Outside,
+}
+
+/// A simple polygon given by its vertex cycle.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+/// Errors raised when constructing a polygon.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PolygonError {
+    /// Fewer than three vertices were supplied.
+    TooFewVertices,
+    /// Two consecutive vertices coincide.
+    RepeatedVertex(usize),
+    /// The boundary curve intersects itself.
+    SelfIntersection(usize, usize),
+    /// The polygon has zero area (all vertices collinear).
+    ZeroArea,
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygonError::TooFewVertices => write!(f, "polygon needs at least 3 vertices"),
+            PolygonError::RepeatedVertex(i) => write!(f, "repeated consecutive vertex at {i}"),
+            PolygonError::SelfIntersection(i, j) => {
+                write!(f, "polygon boundary self-intersects (edges {i} and {j})")
+            }
+            PolygonError::ZeroArea => write!(f, "polygon has zero area"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+impl Polygon {
+    /// Construct a simple polygon, validating simplicity and non-degeneracy.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, PolygonError> {
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        let n = vertices.len();
+        for i in 0..n {
+            if vertices[i] == vertices[(i + 1) % n] {
+                return Err(PolygonError::RepeatedVertex(i));
+            }
+        }
+        let poly = Polygon { vertices };
+        if let Some((i, j)) = poly.find_self_intersection() {
+            return Err(PolygonError::SelfIntersection(i, j));
+        }
+        if poly.signed_area().is_zero() {
+            return Err(PolygonError::ZeroArea);
+        }
+        Ok(poly)
+    }
+
+    /// Construct from integer coordinate pairs.
+    pub fn from_ints(coords: &[(i64, i64)]) -> Result<Self, PolygonError> {
+        Polygon::new(coords.iter().map(|&(x, y)| Point::from_ints(x, y)).collect())
+    }
+
+    /// The vertex cycle.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false: a valid polygon has at least three vertices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the boundary edges, in vertex-cycle order.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Twice the signed area (positive iff counter-clockwise).
+    pub fn signed_area_doubled(&self) -> Rational {
+        let n = self.vertices.len();
+        let mut acc = Rational::ZERO;
+        for i in 0..n {
+            let p = &self.vertices[i];
+            let q = &self.vertices[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        acc
+    }
+
+    /// The signed area (positive iff counter-clockwise).
+    pub fn signed_area(&self) -> Rational {
+        self.signed_area_doubled() / Rational::TWO
+    }
+
+    /// The (unsigned) area.
+    pub fn area(&self) -> Rational {
+        self.signed_area().abs()
+    }
+
+    /// Is the vertex cycle counter-clockwise?
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area_doubled().signum() > 0
+    }
+
+    /// A copy with the vertex cycle oriented counter-clockwise.
+    pub fn oriented_ccw(&self) -> Polygon {
+        if self.is_ccw() {
+            self.clone()
+        } else {
+            let mut v = self.vertices.clone();
+            v.reverse();
+            Polygon { vertices: v }
+        }
+    }
+
+    /// Exact point location with respect to the closed region bounded by the
+    /// polygon: interior, boundary, or exterior.
+    pub fn locate(&self, p: &Point) -> Location {
+        // Boundary check first.
+        for e in self.edges() {
+            if e.contains_point(p) {
+                return Location::Boundary;
+            }
+        }
+        // Ray casting with exact arithmetic: shoot a ray in the +x direction
+        // and count proper crossings, handling vertices on the ray by the
+        // standard "count an edge iff it straddles the ray's y level
+        // half-open" rule.
+        let mut crossings = 0usize;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = &self.vertices[i];
+            let b = &self.vertices[(i + 1) % n];
+            let (lo, hi) = if a.y <= b.y { (a, b) } else { (b, a) };
+            // Half-open in y: [lo.y, hi.y)
+            if p.y >= lo.y && p.y < hi.y {
+                // Edge straddles the horizontal line through p; does the
+                // crossing lie strictly to the right of p?
+                // x at level p.y: lo.x + (hi.x - lo.x) * (p.y - lo.y)/(hi.y - lo.y)
+                let t = (p.y - lo.y) / (hi.y - lo.y);
+                let x = lo.x + (hi.x - lo.x) * t;
+                if x > p.x {
+                    crossings += 1;
+                }
+            }
+        }
+        if crossings % 2 == 1 {
+            Location::Inside
+        } else {
+            Location::Outside
+        }
+    }
+
+    /// Axis-aligned bounding box `(xmin, ymin, xmax, ymax)`.
+    pub fn bounding_box(&self) -> (Rational, Rational, Rational, Rational) {
+        let mut xmin = self.vertices[0].x;
+        let mut xmax = xmin;
+        let mut ymin = self.vertices[0].y;
+        let mut ymax = ymin;
+        for v in &self.vertices[1..] {
+            xmin = xmin.min(v.x);
+            xmax = xmax.max(v.x);
+            ymin = ymin.min(v.y);
+            ymax = ymax.max(v.y);
+        }
+        (xmin, ymin, xmax, ymax)
+    }
+
+    /// A point guaranteed to lie in the interior of the polygon.
+    ///
+    /// Uses the classical "leftmost-lowest vertex + diagonal" construction,
+    /// which is exact and needs no epsilon.
+    pub fn interior_point(&self) -> Point {
+        let poly = self.oriented_ccw();
+        let n = poly.vertices.len();
+        // Find the lowest-leftmost (convex) vertex.
+        let vi = (0..n)
+            .min_by(|&i, &j| {
+                let a = &poly.vertices[i];
+                let b = &poly.vertices[j];
+                a.y.cmp(&b.y).then_with(|| a.x.cmp(&b.x))
+            })
+            .unwrap();
+        let prev = poly.vertices[(vi + n - 1) % n];
+        let v = poly.vertices[vi];
+        let next = poly.vertices[(vi + 1) % n];
+        // Among all other vertices strictly inside triangle (prev, v, next),
+        // pick the one closest to v; the midpoint of (v, that vertex) is
+        // interior. If none, the centroid of the triangle is interior.
+        let mut best: Option<Point> = None;
+        for (i, q) in poly.vertices.iter().enumerate() {
+            if i == vi || *q == prev || *q == next {
+                continue;
+            }
+            if point_in_triangle(q, &prev, &v, &next) {
+                match &best {
+                    Some(b) if q.dist2(&v) >= b.dist2(&v) => {}
+                    _ => best = Some(*q),
+                }
+            }
+        }
+        match best {
+            Some(q) => Point::midpoint(&v, &q),
+            None => Point::new(
+                (prev.x + v.x + next.x) / Rational::from_int(3),
+                (prev.y + v.y + next.y) / Rational::from_int(3),
+            ),
+        }
+    }
+
+    /// Check whether the boundary of another polygon intersects this one's
+    /// boundary at all (shared points included).
+    pub fn boundary_intersects(&self, other: &Polygon) -> bool {
+        for e in self.edges() {
+            for f in other.edges() {
+                if e.intersect(&f) != SegmentIntersection::None {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Translate all vertices by integer offsets.
+    pub fn translated(&self, dx: i64, dy: i64) -> Polygon {
+        let d = crate::point::Vector::from_ints(dx, dy);
+        Polygon { vertices: self.vertices.iter().map(|p| p.translate(&d)).collect() }
+    }
+
+    fn find_self_intersection(&self) -> Option<(usize, usize)> {
+        let edges: Vec<Segment> = self.edges().collect();
+        let n = edges.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                match edges[i].intersect(&edges[j]) {
+                    SegmentIntersection::None => {}
+                    SegmentIntersection::Point(p) => {
+                        if adjacent {
+                            // Adjacent edges must only share their common vertex.
+                            let shared = if j == i + 1 { edges[i].b } else { edges[i].a };
+                            if p != shared {
+                                return Some((i, j));
+                            }
+                        } else {
+                            return Some((i, j));
+                        }
+                    }
+                    SegmentIntersection::Overlap(_) => return Some((i, j)),
+                }
+            }
+        }
+        None
+    }
+}
+
+fn point_in_triangle(p: &Point, a: &Point, b: &Point, c: &Point) -> bool {
+    let d1 = orient(a, b, p);
+    let d2 = orient(b, c, p);
+    let d3 = orient(c, a, p);
+    let has_cw = [d1, d2, d3].iter().any(|&o| o == Orientation::Clockwise);
+    let has_ccw = [d1, d2, d3].iter().any(|&o| o == Orientation::CounterClockwise);
+    !(has_cw && has_ccw) && !([d1, d2, d3].iter().all(|&o| o == Orientation::Collinear))
+}
+
+impl fmt::Debug for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polygon{:?}", self.vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    fn unit_square() -> Polygon {
+        Polygon::from_ints(&[(0, 0), (4, 0), (4, 4), (0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn area_and_orientation() {
+        let sq = unit_square();
+        assert_eq!(sq.area(), Rational::from_int(16));
+        assert!(sq.is_ccw());
+        let cw = Polygon::from_ints(&[(0, 0), (0, 4), (4, 4), (4, 0)]).unwrap();
+        assert!(!cw.is_ccw());
+        assert_eq!(cw.area(), Rational::from_int(16));
+        assert!(cw.oriented_ccw().is_ccw());
+    }
+
+    #[test]
+    fn locate_points() {
+        let sq = unit_square();
+        assert_eq!(sq.locate(&pt(2, 2)), Location::Inside);
+        assert_eq!(sq.locate(&pt(0, 2)), Location::Boundary);
+        assert_eq!(sq.locate(&pt(4, 4)), Location::Boundary);
+        assert_eq!(sq.locate(&pt(5, 2)), Location::Outside);
+        assert_eq!(sq.locate(&pt(-1, -1)), Location::Outside);
+    }
+
+    #[test]
+    fn locate_in_concave_polygon() {
+        // A "U" shape: the notch is outside.
+        let u = Polygon::from_ints(&[
+            (0, 0),
+            (6, 0),
+            (6, 6),
+            (4, 6),
+            (4, 2),
+            (2, 2),
+            (2, 6),
+            (0, 6),
+        ])
+        .unwrap();
+        assert_eq!(u.locate(&pt(1, 5)), Location::Inside);
+        assert_eq!(u.locate(&pt(5, 5)), Location::Inside);
+        assert_eq!(u.locate(&pt(3, 5)), Location::Outside);
+        assert_eq!(u.locate(&pt(3, 1)), Location::Inside);
+        assert_eq!(u.locate(&pt(3, 2)), Location::Boundary);
+    }
+
+    #[test]
+    fn rejects_bad_polygons() {
+        assert_eq!(Polygon::from_ints(&[(0, 0), (1, 1)]), Err(PolygonError::TooFewVertices));
+        assert!(matches!(
+            Polygon::from_ints(&[(0, 0), (0, 0), (1, 1)]),
+            Err(PolygonError::RepeatedVertex(_))
+        ));
+        // Bowtie.
+        assert!(matches!(
+            Polygon::from_ints(&[(0, 0), (4, 4), (4, 0), (0, 4)]),
+            Err(PolygonError::SelfIntersection(_, _))
+        ));
+        // Collinear (rejected either as zero area or as overlapping edges).
+        assert!(Polygon::from_ints(&[(0, 0), (2, 0), (4, 0)]).is_err());
+    }
+
+    #[test]
+    fn interior_point_is_inside() {
+        let polys = [
+            unit_square(),
+            Polygon::from_ints(&[(0, 0), (6, 0), (6, 6), (4, 6), (4, 2), (2, 2), (2, 6), (0, 6)])
+                .unwrap(),
+            Polygon::from_ints(&[(0, 0), (10, 1), (3, 3), (9, 8), (0, 7)]).unwrap(),
+        ];
+        for p in &polys {
+            assert_eq!(p.locate(&p.interior_point()), Location::Inside, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn bounding_box() {
+        let p = Polygon::from_ints(&[(1, 2), (5, 3), (4, 9)]).unwrap();
+        let (x0, y0, x1, y1) = p.bounding_box();
+        assert_eq!(
+            (x0, y0, x1, y1),
+            (
+                Rational::from_int(1),
+                Rational::from_int(2),
+                Rational::from_int(5),
+                Rational::from_int(9)
+            )
+        );
+    }
+
+    #[test]
+    fn boundary_intersection() {
+        let a = unit_square();
+        let b = a.translated(2, 2);
+        let c = a.translated(10, 10);
+        assert!(a.boundary_intersects(&b));
+        assert!(!a.boundary_intersects(&c));
+    }
+
+    #[test]
+    fn edges_count() {
+        assert_eq!(unit_square().edges().count(), 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Line segments and exact segment intersection.
+
+use crate::point::{orient, Orientation, Point, Vector};
+use crate::rational::Rational;
+
+/// A closed line segment between two distinct points.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+/// The result of intersecting two segments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SegmentIntersection {
+    /// The segments do not intersect.
+    None,
+    /// The segments intersect in exactly one point.
+    Point(Point),
+    /// The segments are collinear and overlap in a (non-degenerate) segment.
+    Overlap(Segment),
+}
+
+impl Segment {
+    /// Construct a segment. Panics if the endpoints coincide.
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(a != b, "degenerate segment");
+        Segment { a, b }
+    }
+
+    /// The direction vector `b - a`.
+    pub fn direction(&self) -> Vector {
+        self.a.vector_to(&self.b)
+    }
+
+    /// Does the closed segment contain the point `p`?
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if orient(&self.a, &self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        // Collinear: check that p is within the bounding range along both axes.
+        let (xmin, xmax) = minmax(self.a.x, self.b.x);
+        let (ymin, ymax) = minmax(self.a.y, self.b.y);
+        p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax
+    }
+
+    /// Does the open segment (excluding endpoints) contain the point `p`?
+    pub fn interior_contains_point(&self, p: &Point) -> bool {
+        self.contains_point(p) && *p != self.a && *p != self.b
+    }
+
+    /// Exact intersection of two closed segments.
+    pub fn intersect(&self, other: &Segment) -> SegmentIntersection {
+        let r = self.direction();
+        let s = other.direction();
+        let qp = self.a.vector_to(&other.a);
+        let rxs = r.cross(&s);
+        let qpxr = qp.cross(&r);
+
+        if rxs.is_zero() && qpxr.is_zero() {
+            // Collinear. Project onto the dominant axis of r and compute the
+            // parameter range of `other` relative to `self`.
+            let denom = r.dot(&r);
+            let t0 = qp.dot(&r) / denom;
+            let t1 = t0 + s.dot(&r) / denom;
+            let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            let lo = lo.max(Rational::ZERO);
+            let hi = hi.min(Rational::ONE);
+            if lo > hi {
+                return SegmentIntersection::None;
+            }
+            let p0 = self.point_at(lo);
+            let p1 = self.point_at(hi);
+            if p0 == p1 {
+                SegmentIntersection::Point(p0)
+            } else {
+                SegmentIntersection::Overlap(Segment::new(p0, p1))
+            }
+        } else if rxs.is_zero() {
+            // Parallel, non-collinear.
+            SegmentIntersection::None
+        } else {
+            let t = qp.cross(&s) / rxs;
+            let u = qp.cross(&r) / rxs;
+            if t >= Rational::ZERO && t <= Rational::ONE && u >= Rational::ZERO && u <= Rational::ONE
+            {
+                SegmentIntersection::Point(self.point_at(t))
+            } else {
+                SegmentIntersection::None
+            }
+        }
+    }
+
+    /// The point `a + t * (b - a)`.
+    pub fn point_at(&self, t: Rational) -> Point {
+        let d = self.direction();
+        Point::new(self.a.x + d.dx * t, self.a.y + d.dy * t)
+    }
+
+    /// The parameter of a point known to lie on the supporting line.
+    pub fn param_of(&self, p: &Point) -> Rational {
+        let d = self.direction();
+        if !d.dx.is_zero() {
+            (p.x - self.a.x) / d.dx
+        } else {
+            (p.y - self.a.y) / d.dy
+        }
+    }
+
+    /// Reverse the segment.
+    pub fn reversed(&self) -> Segment {
+        Segment { a: self.b, b: self.a }
+    }
+}
+
+fn minmax(a: Rational, b: Rational) -> (Rational, Rational) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Convenience constructor from integer coordinates.
+pub fn seg(ax: i64, ay: i64, bx: i64, by: i64) -> Segment {
+    Segment::new(Point::from_ints(ax, ay), Point::from_ints(bx, by))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn proper_crossing() {
+        let s1 = seg(0, 0, 4, 4);
+        let s2 = seg(0, 4, 4, 0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::Point(pt(2, 2)));
+    }
+
+    #[test]
+    fn crossing_at_rational_point() {
+        let s1 = seg(0, 0, 3, 1);
+        let s2 = seg(0, 1, 3, 0);
+        match s1.intersect(&s2) {
+            SegmentIntersection::Point(p) => {
+                assert_eq!(p, Point::new(Rational::new(3, 2), Rational::new(1, 2)));
+            }
+            other => panic!("expected point intersection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_touch() {
+        let s1 = seg(0, 0, 2, 2);
+        let s2 = seg(2, 2, 4, 0);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::Point(pt(2, 2)));
+    }
+
+    #[test]
+    fn no_intersection() {
+        let s1 = seg(0, 0, 1, 1);
+        let s2 = seg(2, 2, 3, 2);
+        assert_eq!(s1.intersect(&s2), SegmentIntersection::None);
+        // Parallel, non-collinear.
+        let s3 = seg(0, 0, 2, 0);
+        let s4 = seg(0, 1, 2, 1);
+        assert_eq!(s3.intersect(&s4), SegmentIntersection::None);
+        // Lines would cross but segments do not reach.
+        let s5 = seg(0, 0, 1, 1);
+        let s6 = seg(3, 0, 2, 1);
+        assert_eq!(s5.intersect(&s6), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let s1 = seg(0, 0, 4, 0);
+        let s2 = seg(2, 0, 6, 0);
+        assert_eq!(
+            s1.intersect(&s2),
+            SegmentIntersection::Overlap(Segment::new(pt(2, 0), pt(4, 0)))
+        );
+        // Collinear but disjoint.
+        let s3 = seg(5, 0, 6, 0);
+        assert_eq!(seg(0, 0, 4, 0).intersect(&s3), SegmentIntersection::None);
+        // Collinear touching at a single point.
+        let s4 = seg(4, 0, 6, 0);
+        assert_eq!(s1.intersect(&s4), SegmentIntersection::Point(pt(4, 0)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let s1 = seg(0, 0, 4, 4);
+        let s2 = seg(1, 1, 6, 6);
+        let i1 = s1.intersect(&s2);
+        let i2 = s2.intersect(&s1);
+        match (&i1, &i2) {
+            (SegmentIntersection::Overlap(a), SegmentIntersection::Overlap(b)) => {
+                assert!(
+                    (a.a == b.a && a.b == b.b) || (a.a == b.b && a.b == b.a),
+                    "overlaps differ: {a:?} vs {b:?}"
+                );
+            }
+            _ => panic!("expected overlaps, got {i1:?} and {i2:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_point() {
+        let s = seg(0, 0, 4, 2);
+        assert!(s.contains_point(&pt(2, 1)));
+        assert!(s.contains_point(&pt(0, 0)));
+        assert!(!s.interior_contains_point(&pt(0, 0)));
+        assert!(s.interior_contains_point(&pt(2, 1)));
+        assert!(!s.contains_point(&pt(6, 3)));
+        assert!(!s.contains_point(&pt(2, 2)));
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let s = seg(1, 1, 5, 3);
+        let p = s.point_at(Rational::new(1, 4));
+        assert_eq!(s.param_of(&p), Rational::new(1, 4));
+        let v = seg(2, 0, 2, 8);
+        let q = v.point_at(Rational::new(3, 4));
+        assert_eq!(v.param_of(&q), Rational::new(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_segment_panics() {
+        let _ = Segment::new(pt(1, 1), pt(1, 1));
+    }
+}

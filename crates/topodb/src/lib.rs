@@ -1,0 +1,262 @@
+//! # topodb
+//!
+//! A topological spatial database, reproducing the system described in
+//! *"Topological Queries in Spatial Databases"* (Papadimitriou, Suciu, Vianu;
+//! PODS 1996 / JCSS 1999).
+//!
+//! [`TopoDatabase`] is the user-facing entry point. It stores named polygonal
+//! regions and exposes:
+//!
+//! * the 4-intersection (Egenhofer) relation between any two regions,
+//! * the topological invariant `T_I` (Section 3) and homeomorphism testing
+//!   against other databases (Theorem 3.4),
+//! * the thematic relational summary `thematic(I)` (Corollary 3.7),
+//! * region-based queries in the paper's `FO(Region, Region')` syntax,
+//!   evaluated over the cell complex (the tractable language of Section 7),
+//! * validation of externally supplied invariants (Theorem 3.8).
+//!
+//! The individual crates (`spatial-core`, `arrangement`, `invariant`,
+//! `relations`, `relstore`, `query`) are re-exported for direct use.
+//!
+//! ## Example
+//!
+//! ```
+//! use topodb::TopoDatabase;
+//! use topodb::spatial_core::prelude::*;
+//!
+//! let mut db = TopoDatabase::new();
+//! db.insert("Lake", Region::polygon_from_ints(&[(0, 0), (8, 0), (8, 6), (0, 6)]).unwrap());
+//! db.insert("Park", Region::rect_from_ints(5, 2, 12, 9));
+//!
+//! assert_eq!(db.relation("Lake", "Park").unwrap().name(), "overlap");
+//! assert_eq!(db.query("exists r . subset(r, Lake) and subset(r, Park)"), Ok(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arrangement;
+pub use invariant;
+pub use query;
+pub use relations;
+pub use relstore;
+pub use spatial_core;
+
+use arrangement::CellComplex;
+use invariant::Invariant;
+use query::cell_eval::CellEvaluator;
+use relations::Relation4;
+use spatial_core::instance::SpatialInstance;
+use spatial_core::region::Region;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Errors surfaced by the facade.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TopoDbError {
+    /// A region name was not found.
+    UnknownRegion(String),
+    /// The query text could not be parsed.
+    Parse(String),
+    /// Query evaluation failed.
+    Eval(String),
+}
+
+impl fmt::Display for TopoDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoDbError::UnknownRegion(n) => write!(f, "unknown region `{n}`"),
+            TopoDbError::Parse(m) => write!(f, "query parse error: {m}"),
+            TopoDbError::Eval(m) => write!(f, "query evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoDbError {}
+
+/// A topological spatial database: named regions plus the derived structures
+/// of the paper (cell complex, invariant, thematic relational summary),
+/// computed lazily and invalidated on update.
+#[derive(Default)]
+pub struct TopoDatabase {
+    instance: SpatialInstance,
+    cache: RefCell<Cache>,
+}
+
+#[derive(Default)]
+struct Cache {
+    complex: Option<CellComplex>,
+    invariant: Option<Invariant>,
+}
+
+impl TopoDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        TopoDatabase::default()
+    }
+
+    /// Build a database from an existing instance.
+    pub fn from_instance(instance: SpatialInstance) -> Self {
+        TopoDatabase { instance, cache: RefCell::new(Cache::default()) }
+    }
+
+    /// Insert (or replace) a named region, invalidating derived structures.
+    pub fn insert<S: Into<String>>(&mut self, name: S, region: Region) {
+        self.instance.insert(name, region);
+        self.cache.replace(Cache::default());
+    }
+
+    /// Remove a region.
+    pub fn remove(&mut self, name: &str) -> Option<Region> {
+        let out = self.instance.remove(name);
+        self.cache.replace(Cache::default());
+        out
+    }
+
+    /// The underlying spatial instance.
+    pub fn instance(&self) -> &SpatialInstance {
+        &self.instance
+    }
+
+    /// Region names in canonical order.
+    pub fn names(&self) -> Vec<String> {
+        self.instance.names().into_iter().map(String::from).collect()
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.instance.is_empty()
+    }
+
+    /// The cell complex of the current instance (computed on first use).
+    pub fn cell_complex(&self) -> CellComplex {
+        let mut cache = self.cache.borrow_mut();
+        if cache.complex.is_none() {
+            cache.complex = Some(arrangement::build_complex(&self.instance));
+        }
+        cache.complex.clone().expect("complex just computed")
+    }
+
+    /// The topological invariant `T_I` of the current instance.
+    pub fn invariant(&self) -> Invariant {
+        let mut cache = self.cache.borrow_mut();
+        if cache.invariant.is_none() {
+            let complex = cache
+                .complex
+                .get_or_insert_with(|| arrangement::build_complex(&self.instance));
+            cache.invariant = Some(Invariant::from_complex(complex));
+        }
+        cache.invariant.clone().expect("invariant just computed")
+    }
+
+    /// The thematic relational database `thematic(I)` over the schema `Th`.
+    pub fn thematic(&self) -> relstore::Database {
+        invariant::thematic::to_database(&self.invariant())
+    }
+
+    /// The 4-intersection relation between two named regions.
+    pub fn relation(&self, a: &str, b: &str) -> Result<Relation4, TopoDbError> {
+        for name in [a, b] {
+            if self.instance.ext(name).is_none() {
+                return Err(TopoDbError::UnknownRegion(name.to_string()));
+            }
+        }
+        let complex = self.cell_complex();
+        relations::relation_in_complex(&complex, a, b)
+            .ok_or_else(|| TopoDbError::UnknownRegion(format!("{a} / {b}")))
+    }
+
+    /// All pairwise relations, in name order.
+    pub fn relation_matrix(&self) -> Vec<(String, String, Relation4)> {
+        relations::all_pairwise_relations(&self.instance)
+    }
+
+    /// Is this database topologically equivalent (homeomorphic) to another?
+    /// Decided via invariant isomorphism (Theorem 3.4).
+    pub fn homeomorphic_to(&self, other: &TopoDatabase) -> bool {
+        if self.instance.names() != other.instance.names() {
+            return false;
+        }
+        invariant::isomorphic(&self.invariant(), &other.invariant())
+    }
+
+    /// Evaluate a region-based query given in the concrete syntax of the
+    /// `query` crate (quantifiers range over disc-like cell unions).
+    pub fn query(&self, text: &str) -> Result<bool, TopoDbError> {
+        let formula = query::parse(text).map_err(|e| TopoDbError::Parse(e.to_string()))?;
+        self.query_formula(&formula)
+    }
+
+    /// Evaluate an already-parsed query.
+    pub fn query_formula(&self, formula: &query::Formula) -> Result<bool, TopoDbError> {
+        let evaluator = CellEvaluator::from_complex(&self.cell_complex());
+        evaluator.eval(formula).map_err(|e| TopoDbError::Eval(e.to_string()))
+    }
+
+    /// Validate the database's own invariant (always valid; exposed mainly so
+    /// applications can validate externally modified invariants the same
+    /// way — Theorem 3.8).
+    pub fn validate_invariant(inv: &Invariant) -> Vec<invariant::ValidationError> {
+        invariant::validate(inv)
+    }
+
+    /// A human-readable summary of the database and its derived structures.
+    pub fn summary(&self) -> String {
+        let inv = self.invariant();
+        format!(
+            "{} region(s); invariant: {} vertices, {} edges, {} faces",
+            self.len(),
+            inv.vertex_count(),
+            inv.edge_count(),
+            inv.face_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::fixtures;
+
+    #[test]
+    fn facade_round_trip() {
+        let mut db = TopoDatabase::from_instance(fixtures::fig_1c());
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.relation("A", "B").unwrap(), Relation4::Overlap);
+        assert_eq!(db.query("overlap(A, B)"), Ok(true));
+        assert_eq!(db.query("disjoint(A, B)"), Ok(false));
+        assert!(db.query("nonsense(").is_err());
+        assert!(db.relation("A", "Z").is_err());
+        assert!(db.summary().contains("2 region(s)"));
+
+        // Updates invalidate the cache.
+        db.insert("C", spatial_core::region::Region::rect_from_ints(20, 20, 24, 24));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.relation("A", "C").unwrap(), Relation4::Disjoint);
+        assert!(db.remove("C").is_some());
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn homeomorphism_between_databases() {
+        let a = TopoDatabase::from_instance(fixtures::fig_1c());
+        let b = TopoDatabase::from_instance(fixtures::fig_1c().translated(100, 100));
+        let d = TopoDatabase::from_instance(fixtures::fig_1d());
+        assert!(a.homeomorphic_to(&b));
+        assert!(!a.homeomorphic_to(&d));
+    }
+
+    #[test]
+    fn thematic_and_validation() {
+        let db = TopoDatabase::from_instance(fixtures::nested_three());
+        let th = db.thematic();
+        assert_eq!(th.relation("Regions").unwrap().len(), 3);
+        assert!(TopoDatabase::validate_invariant(&db.invariant()).is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build a small topological spatial database, ask for
+//! 4-intersection relations, run region-based queries, and inspect the
+//! topological invariant and its relational (thematic) form.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use topodb::spatial_core::prelude::*;
+use topodb::TopoDatabase;
+
+fn main() {
+    // A toy map: a lake, a park overlapping the lake shore, and a campsite
+    // inside the park but away from the water.
+    let mut db = TopoDatabase::new();
+    db.insert("Lake", Region::polygon_from_ints(&[(0, 0), (10, 0), (10, 8), (0, 8)]).unwrap());
+    db.insert("Park", Region::rect_from_ints(6, 2, 18, 12));
+    db.insert("Camp", Region::rect_from_ints(12, 4, 15, 7));
+
+    println!("== database ==\n{}", db.instance());
+    println!("summary: {}\n", db.summary());
+
+    println!("== pairwise 4-intersection relations (Fig. 2 of the paper) ==");
+    for (a, b, rel) in db.relation_matrix() {
+        println!("  {a:5} {rel:<10} {b}");
+    }
+
+    println!("\n== region-based queries (Section 4 of the paper) ==");
+    let queries = [
+        // Is some part of the park under water?
+        "exists r . subset(r, Lake) and subset(r, Park)",
+        // Is the camp dry?
+        "disjoint(Camp, Lake)",
+        // Is the camp strictly inside the park?
+        "inside(Camp, Park)",
+        // Is there a spot in the park that is neither camp nor lake?
+        "exists r . subset(r, Park) and disjoint(r, Camp) and disjoint(r, Lake)",
+    ];
+    for q in queries {
+        println!("  {q}\n    -> {:?}", db.query(q).unwrap());
+    }
+
+    println!("\n== the topological invariant T_I (Section 3) ==");
+    println!("{}", db.invariant());
+
+    println!("== the thematic relational database thematic(I) (Corollary 3.7) ==");
+    println!("{}", db.thematic());
+}
