@@ -3,8 +3,9 @@
 //!
 //! This is the polygonal counterpart of the Kozen–Yap cell-decomposition
 //! algorithm the paper relies on for semi-algebraic inputs (see `DESIGN.md`):
-//! the input boundaries are split at their mutual intersections, merged into
-//! maximal 1-cells, the faces are extracted from the combinatorial embedding,
+//! the input boundaries are split at their mutual intersections (by the
+//! Bentley–Ottmann plane sweep of [`crate::sweep`]), merged into maximal
+//! 1-cells, the faces are extracted from the combinatorial embedding,
 //! disconnected components are nested into the faces that contain them, and
 //! every cell receives its sign label by exact combinatorial propagation from
 //! the unbounded face.

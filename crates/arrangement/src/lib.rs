@@ -20,6 +20,22 @@
 //! paper uses for semi-algebraic inputs; see `DESIGN.md` for the substitution
 //! argument.
 //!
+//! ## Construction pipeline and cost
+//!
+//! Construction proceeds in two phases. The *splitting* phase cuts every
+//! input segment at every point where it meets another segment; the
+//! production implementation is a Bentley–Ottmann plane sweep in exact
+//! rational arithmetic ([`sweep`]) running in `O((n + k) log n)` for `n`
+//! segments with `k` intersection incidences. The original all-pairs
+//! splitter (`O(n^2)` exact intersection tests) is retained in [`split`] as
+//! a differential-testing oracle: both produce identical sub-segment sets by
+//! construction of the test suite, and the sweep handles the same
+//! degeneracies (endpoint touching, many segments through one point,
+//! vertical segments, collinear overlap chains, shared boundaries merged
+//! with multi-region marks). The *assembly* phase — chain merging, rotation
+//! system, face walks, nesting, labels — is independent of which splitter
+//! produced the pieces.
+//!
 //! ## Example
 //!
 //! ```
@@ -41,6 +57,7 @@ mod builder;
 mod complex;
 mod geometry;
 pub mod split;
+pub mod sweep;
 mod types;
 
 pub use builder::build_complex;

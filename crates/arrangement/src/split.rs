@@ -6,6 +6,19 @@
 //! from different regions are merged into a single edge carrying all region
 //! marks (this is how shared boundaries — the Egenhofer `meet`, `covers`,
 //! `equal` situations — are represented exactly).
+//!
+//! Two interchangeable splitters produce the cut points:
+//!
+//! * [`split_segments`] — the production path, a Bentley–Ottmann plane sweep
+//!   ([`crate::sweep`]) running in `O((n + k) log n)` for `n` segments with
+//!   `k` intersections;
+//! * [`split_segments_naive`] — the original all-pairs `O(n^2)` splitter,
+//!   kept as a differential-testing oracle: both must produce identical
+//!   [`SubSegment`] sets on every input.
+//!
+//! Both share [`assemble_subsegments`], which orders each segment's cut
+//! points, emits the pieces, and merges geometrically coincident pieces from
+//! different regions.
 
 use spatial_core::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -42,12 +55,13 @@ pub fn instance_segments(instance: &SpatialInstance) -> Vec<TaggedSegment> {
     out
 }
 
-/// Split all segments at their mutual intersection points and merge
-/// coincident pieces.
-pub fn split_segments(segments: &[TaggedSegment]) -> Vec<SubSegment> {
-    let n = segments.len();
-    // For each segment, the set of points at which it must be cut.
-    let mut cuts: Vec<BTreeSet<Point>> = segments
+/// The cut-point sets of each input segment, always containing at least the
+/// segment's own endpoints.
+pub type CutSets = Vec<BTreeSet<Point>>;
+
+/// Fresh cut sets seeded with every segment's own endpoints.
+pub fn endpoint_cuts(segments: &[TaggedSegment]) -> CutSets {
+    segments
         .iter()
         .map(|ts| {
             let mut s = BTreeSet::new();
@@ -55,8 +69,22 @@ pub fn split_segments(segments: &[TaggedSegment]) -> Vec<SubSegment> {
             s.insert(ts.segment.b);
             s
         })
-        .collect();
+        .collect()
+}
 
+/// Split all segments at their mutual intersection points and merge
+/// coincident pieces. This is the production path: a Bentley–Ottmann plane
+/// sweep (see [`crate::sweep`]).
+pub fn split_segments(segments: &[TaggedSegment]) -> Vec<SubSegment> {
+    crate::sweep::split_segments_sweep(segments)
+}
+
+/// The original all-pairs splitter, kept as the differential-testing oracle
+/// for the sweep. `O(n^2)` intersection tests, but independent of any
+/// ordering argument — its output is the specification the sweep must match.
+pub fn split_segments_naive(segments: &[TaggedSegment]) -> Vec<SubSegment> {
+    let n = segments.len();
+    let mut cuts = endpoint_cuts(segments);
     for i in 0..n {
         for j in (i + 1)..n {
             match segments[i].segment.intersect(&segments[j].segment) {
@@ -74,8 +102,14 @@ pub fn split_segments(segments: &[TaggedSegment]) -> Vec<SubSegment> {
             }
         }
     }
+    assemble_subsegments(segments, &cuts)
+}
 
-    // Produce sub-segments, keyed by their canonical endpoint pair.
+/// Shared final phase of both splitters: order each segment's cut points
+/// along the segment, emit the pieces between consecutive cuts, and merge
+/// geometrically identical pieces (keyed by canonical endpoint pair) into a
+/// single [`SubSegment`] carrying the union of region marks.
+pub fn assemble_subsegments(segments: &[TaggedSegment], cuts: &CutSets) -> Vec<SubSegment> {
     let mut merged: BTreeMap<(Point, Point), BTreeSet<usize>> = BTreeMap::new();
     for (ts, cut_points) in segments.iter().zip(cuts.iter()) {
         // Order the cut points along the segment.

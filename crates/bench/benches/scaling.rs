@@ -4,6 +4,8 @@
 //! (Proposition 5.1 / Theorem 5.6), and the data complexity of FO(Rect, Rect)
 //! evaluation (Theorem 6.4).
 
+use arrangement::split::{instance_segments, split_segments_naive};
+use arrangement::sweep::split_segments_sweep;
 use bench::{CONSTRUCTION_SIZES, SCALING_SIZES};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use invariant::Invariant;
@@ -29,6 +31,35 @@ fn thm35_invariant_scaling(c: &mut Criterion) {
                 assert!(inv.euler_formula_holds());
                 black_box(inv)
             })
+        });
+    }
+    group.finish();
+}
+
+/// The splitter shoot-out behind Theorem 3.5's tractability: Bentley–Ottmann
+/// plane sweep (`O((n + k) log n)`) vs. the naive all-pairs oracle
+/// (`O(n^2)`), on the same segment sets — both the shared-edge grid map
+/// (endpoint-degenerate, `k ~ 0` proper crossings) and the dense overlap map
+/// (`k = Theta(n)` proper crossings). The acceptance gate for the sweep:
+/// it must win at the top of `CONSTRUCTION_SIZES` on both workloads.
+fn splitting_sweep_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitting_sweep_vs_naive");
+    for (n, inst) in datagen::scaling_sweep(&CONSTRUCTION_SIZES) {
+        let segs = instance_segments(&inst);
+        group.bench_with_input(BenchmarkId::new("sweep/grid", n), &segs, |b, segs| {
+            b.iter(|| black_box(split_segments_sweep(segs)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive/grid", n), &segs, |b, segs| {
+            b.iter(|| black_box(split_segments_naive(segs)))
+        });
+    }
+    for (n, inst) in datagen::dense_scaling_sweep(&CONSTRUCTION_SIZES) {
+        let segs = instance_segments(&inst);
+        group.bench_with_input(BenchmarkId::new("sweep/dense", n), &segs, |b, segs| {
+            b.iter(|| black_box(split_segments_sweep(segs)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive/dense", n), &segs, |b, segs| {
+            b.iter(|| black_box(split_segments_naive(segs)))
         });
     }
     group.finish();
@@ -105,7 +136,7 @@ fn thm64_rect_data_complexity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = config();
-    targets = thm35_invariant_scaling, thm34_isomorphism_scaling, thm56_sentence_generation,
-              thm64_rect_data_complexity
+    targets = splitting_sweep_vs_naive, thm35_invariant_scaling, thm34_isomorphism_scaling,
+              thm56_sentence_generation, thm64_rect_data_complexity
 }
 criterion_main!(benches);

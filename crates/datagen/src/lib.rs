@@ -115,6 +115,29 @@ pub fn flower(n: usize, seed: u64) -> SpatialInstance {
     inst
 }
 
+/// A dense "land-use map with surveying errors": like [`grid_map`], but every
+/// parcel is enlarged past its grid cell so it properly overlaps its right
+/// and upper neighbors. Unlike the shared-edge grid, whose intersections are
+/// all endpoint coincidences, this workload produces `Theta(n)` *proper
+/// segment crossings* — the `k` term of the sweep's `O((n + k) log n)` bound.
+pub fn dense_overlap_map(cols: usize, rows: usize, cell_size: i64) -> SpatialInstance {
+    assert!(cols > 0 && rows > 0 && cell_size > 1);
+    let overhang = cell_size / 2;
+    let mut inst = SpatialInstance::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let x1 = c as i64 * cell_size;
+            let y1 = r as i64 * cell_size;
+            let name = format!("P{:03}_{:03}", r, c);
+            inst.insert(
+                name,
+                Region::rect_from_ints(x1, y1, x1 + cell_size + overhang, y1 + cell_size + overhang),
+            );
+        }
+    }
+    inst
+}
+
 /// The instance-size sweep used by the scaling benchmarks: grid maps with
 /// roughly `n` regions.
 pub fn scaling_sweep(sizes: &[usize]) -> Vec<(usize, SpatialInstance)> {
@@ -124,6 +147,19 @@ pub fn scaling_sweep(sizes: &[usize]) -> Vec<(usize, SpatialInstance)> {
             let cols = (n as f64).sqrt().ceil() as usize;
             let rows = n.div_ceil(cols);
             (cols * rows, grid_map(cols, rows, 4))
+        })
+        .collect()
+}
+
+/// Like [`scaling_sweep`], but over [`dense_overlap_map`] instances: the
+/// crossing-heavy companion sweep for the splitter benchmarks.
+pub fn dense_scaling_sweep(sizes: &[usize]) -> Vec<(usize, SpatialInstance)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let cols = (n as f64).sqrt().ceil() as usize;
+            let rows = n.div_ceil(cols);
+            (cols * rows, dense_overlap_map(cols, rows, 4))
         })
         .collect()
 }
@@ -173,6 +209,21 @@ mod tests {
         let sweep = scaling_sweep(&[4, 9, 16]);
         assert_eq!(sweep.len(), 3);
         for (n, inst) in sweep {
+            assert_eq!(inst.len(), n);
+        }
+    }
+
+    #[test]
+    fn dense_overlap_map_overlaps_neighbors() {
+        let m = dense_overlap_map(3, 2, 4);
+        assert_eq!(m.len(), 6);
+        // Horizontally adjacent parcels share interior points: the first
+        // parcel reaches x=6 while its right neighbor starts at x=4.
+        let a = m.ext("P000_000").unwrap();
+        let b = m.ext("P000_001").unwrap();
+        assert_eq!(a.locate(&pt(5, 2)), Location::Inside);
+        assert_eq!(b.locate(&pt(5, 2)), Location::Inside);
+        for (n, inst) in dense_scaling_sweep(&[4, 9]) {
             assert_eq!(inst.len(), n);
         }
     }

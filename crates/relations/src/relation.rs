@@ -230,15 +230,28 @@ pub fn nine_matrix_in_complex(
 }
 
 /// All pairwise 4-intersection relations of an instance, in name order.
+///
+/// Builds the instance's cell complex from scratch; callers that already
+/// hold a complex (for example a caching facade) should use
+/// [`all_pairwise_relations_in_complex`] instead, which reuses it.
 pub fn all_pairwise_relations(inst: &SpatialInstance) -> Vec<(String, String, Relation4)> {
-    let complex = build_complex(inst);
-    let names = inst.names();
+    all_pairwise_relations_in_complex(&build_complex(inst))
+}
+
+/// All pairwise 4-intersection relations read off an already-built cell
+/// complex, in region-name order. Zero-copy companion of
+/// [`all_pairwise_relations`]: no arrangement is rebuilt, every pair is
+/// answered from the complex's cell labels alone (Corollary 3.7).
+pub fn all_pairwise_relations_in_complex(
+    complex: &CellComplex,
+) -> Vec<(String, String, Relation4)> {
+    let names = complex.region_names();
     let mut out = Vec::new();
     for i in 0..names.len() {
         for j in (i + 1)..names.len() {
-            let r = relation_in_complex(&complex, names[i], names[j])
-                .expect("names come from the instance");
-            out.push((names[i].to_string(), names[j].to_string(), r));
+            let r = relation_in_complex(complex, &names[i], &names[j])
+                .expect("names come from the complex");
+            out.push((names[i].clone(), names[j].clone(), r));
         }
     }
     out

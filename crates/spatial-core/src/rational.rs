@@ -80,6 +80,11 @@ impl Rational {
             num = checked!(num.checked_neg(), "new");
             den = checked!(den.checked_neg(), "new");
         }
+        // Fast path: already an integer (the overwhelmingly common case in
+        // arrangement construction, where most coordinates are grid points).
+        if den == 1 || num == 0 {
+            return Rational { num, den: if num == 0 { 1 } else { den } };
+        }
         let g = gcd(num.unsigned_abs() as i128, den);
         if g > 1 {
             num /= g;
@@ -188,6 +193,10 @@ impl Rational {
     /// Compare without materializing the difference (avoids overflow in the
     /// common comparison path and keeps ordering total).
     fn cmp_impl(&self, other: &Self) -> Ordering {
+        // Fast path: two integers (or equal denominators) compare directly.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
         let lhs = checked!(self.num.checked_mul(other.den), "cmp");
         let rhs = checked!(other.num.checked_mul(self.den), "cmp");
@@ -228,6 +237,18 @@ impl Ord for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Self) -> Self {
+        // Short circuits: adding zero is free, and integer + integer needs no
+        // gcd at all. These dominate the sweep comparator's workload, where
+        // most coordinates are integers.
+        if self.num == 0 {
+            return rhs;
+        }
+        if rhs.num == 0 {
+            return self;
+        }
+        if self.den == 1 && rhs.den == 1 {
+            return Rational { num: checked!(self.num.checked_add(rhs.num), "add"), den: 1 };
+        }
         // a/b + c/d = (a*d + c*b) / (b*d), reduced by gcd(b, d) first to keep
         // intermediates small.
         let g = gcd(self.den, rhs.den);
@@ -240,7 +261,7 @@ impl Add for Rational {
             )),
             "add"
         );
-        let den = checked!(checked!(self.den.checked_mul(dd), "add").checked_mul(1), "add");
+        let den = checked!(self.den.checked_mul(dd), "add");
         Rational::new(num, den)
     }
 }
@@ -248,6 +269,14 @@ impl Add for Rational {
 impl Sub for Rational {
     type Output = Rational;
     fn sub(self, rhs: Self) -> Self {
+        // Mirror of `add`'s short circuits, avoiding the negate-then-add
+        // round trip in the common cases.
+        if rhs.num == 0 {
+            return self;
+        }
+        if self.den == 1 && rhs.den == 1 {
+            return Rational { num: checked!(self.num.checked_sub(rhs.num), "sub"), den: 1 };
+        }
         self + (-rhs)
     }
 }
@@ -255,6 +284,31 @@ impl Sub for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Self) -> Self {
+        // Short circuits: zero annihilates, ±1 passes through (no gcd, no
+        // multiplication, no renormalization).
+        if self.num == 0 || rhs.num == 0 {
+            return Rational::ZERO;
+        }
+        if self.den == 1 {
+            if self.num == 1 {
+                return rhs;
+            }
+            if self.num == -1 {
+                return -rhs;
+            }
+        }
+        if rhs.den == 1 {
+            if rhs.num == 1 {
+                return self;
+            }
+            if rhs.num == -1 {
+                return -self;
+            }
+            // Integer * integer: no cross-reduction possible against den 1.
+            if self.den == 1 {
+                return Rational { num: checked!(self.num.checked_mul(rhs.num), "mul"), den: 1 };
+            }
+        }
         // Cross-reduce before multiplying to keep intermediates small.
         let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
         let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
@@ -392,6 +446,58 @@ mod tests {
             Rational::midpoint(Rational::from_int(1), Rational::from_int(2)),
             Rational::new(3, 2)
         );
+    }
+
+    #[test]
+    fn fast_paths_agree_with_general_paths() {
+        // Exercise every short-circuit branch against values that also take
+        // the general path, over a small exhaustive grid.
+        let values: Vec<Rational> = [
+            (0, 1), (1, 1), (-1, 1), (2, 1), (-2, 1), (7, 1), (1, 2), (-1, 2), (3, 2),
+            (-3, 2), (2, 3), (-5, 3), (7, 6), (-7, 6),
+        ]
+        .into_iter()
+        .map(|(n, d)| Rational::new(n, d))
+        .collect();
+        // Reference implementations with no short circuits.
+        let ref_add = |a: Rational, b: Rational| {
+            Rational::new(a.num * b.den + b.num * a.den, a.den * b.den)
+        };
+        let ref_mul = |a: Rational, b: Rational| Rational::new(a.num * b.num, a.den * b.den);
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(a + b, ref_add(a, b), "{a} + {b}");
+                assert_eq!(a - b, ref_add(a, -b), "{a} - {b}");
+                assert_eq!(a * b, ref_mul(a, b), "{a} * {b}");
+                let expected = (a.num * b.den).cmp(&(b.num * a.den));
+                assert_eq!(a.cmp(&b), expected, "{a} <=> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_results_stay_normalized() {
+        // Every constructor and short circuit must preserve den > 0 and
+        // gcd(|num|, den) == 1 so that Eq/Hash remain canonical.
+        let check = |r: Rational| {
+            assert!(r.denom() > 0);
+            let g = {
+                let (mut a, mut b) = (r.numer().unsigned_abs(), r.denom().unsigned_abs());
+                while b != 0 {
+                    let t = a % b;
+                    a = b;
+                    b = t;
+                }
+                a
+            };
+            assert!(r.numer() == 0 || g == 1, "{r} not normalized");
+        };
+        check(Rational::new(0, 7));
+        check(Rational::new(4, 2));
+        check(Rational::from_int(3) + Rational::from_int(5));
+        check(Rational::new(1, 2) * Rational::from_int(-1));
+        check(Rational::from_int(0) * Rational::new(3, 7));
+        check(Rational::new(3, 7) - Rational::ZERO);
     }
 
     #[test]

@@ -48,8 +48,9 @@ use query::cell_eval::CellEvaluator;
 use relations::Relation4;
 use spatial_core::instance::SpatialInstance;
 use spatial_core::region::Region;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors surfaced by the facade.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -76,17 +77,24 @@ impl std::error::Error for TopoDbError {}
 
 /// A topological spatial database: named regions plus the derived structures
 /// of the paper (cell complex, invariant, thematic relational summary),
-/// computed lazily and invalidated on update.
+/// computed lazily, shared zero-copy behind [`Arc`]s, and invalidated on
+/// update.
+///
+/// Accessors hand out clones of the cached `Arc`s — constant-time reference
+/// bumps, never deep copies — so query traffic between two updates pays for
+/// at most one arrangement construction, however many relation, query or
+/// invariant calls it makes.
 #[derive(Default)]
 pub struct TopoDatabase {
     instance: SpatialInstance,
     cache: RefCell<Cache>,
+    complex_builds: Cell<u64>,
 }
 
 #[derive(Default)]
 struct Cache {
-    complex: Option<CellComplex>,
-    invariant: Option<Invariant>,
+    complex: Option<Arc<CellComplex>>,
+    invariant: Option<Arc<Invariant>>,
 }
 
 impl TopoDatabase {
@@ -97,7 +105,11 @@ impl TopoDatabase {
 
     /// Build a database from an existing instance.
     pub fn from_instance(instance: SpatialInstance) -> Self {
-        TopoDatabase { instance, cache: RefCell::new(Cache::default()) }
+        TopoDatabase {
+            instance,
+            cache: RefCell::new(Cache::default()),
+            complex_builds: Cell::new(0),
+        }
     }
 
     /// Insert (or replace) a named region, invalidating derived structures.
@@ -133,25 +145,42 @@ impl TopoDatabase {
         self.instance.is_empty()
     }
 
-    /// The cell complex of the current instance (computed on first use).
-    pub fn cell_complex(&self) -> CellComplex {
+    /// The cell complex of the current instance, computed on first use and
+    /// shared zero-copy: the returned [`Arc`] is a clone of the cache entry,
+    /// never a deep copy of the complex.
+    pub fn cell_complex(&self) -> Arc<CellComplex> {
         let mut cache = self.cache.borrow_mut();
         if cache.complex.is_none() {
-            cache.complex = Some(arrangement::build_complex(&self.instance));
+            self.complex_builds.set(self.complex_builds.get() + 1);
+            cache.complex = Some(Arc::new(arrangement::build_complex(&self.instance)));
         }
-        cache.complex.clone().expect("complex just computed")
+        Arc::clone(cache.complex.as_ref().expect("complex just computed"))
     }
 
-    /// The topological invariant `T_I` of the current instance.
-    pub fn invariant(&self) -> Invariant {
+    /// The topological invariant `T_I` of the current instance, shared
+    /// zero-copy like [`TopoDatabase::cell_complex`].
+    pub fn invariant(&self) -> Arc<Invariant> {
         let mut cache = self.cache.borrow_mut();
         if cache.invariant.is_none() {
-            let complex = cache
-                .complex
-                .get_or_insert_with(|| arrangement::build_complex(&self.instance));
-            cache.invariant = Some(Invariant::from_complex(complex));
+            if cache.complex.is_none() {
+                self.complex_builds.set(self.complex_builds.get() + 1);
+                cache.complex = Some(Arc::new(arrangement::build_complex(&self.instance)));
+            }
+            let complex = cache.complex.as_ref().expect("complex just ensured");
+            cache.invariant = Some(Arc::new(Invariant::from_complex(complex)));
         }
-        cache.invariant.clone().expect("invariant just computed")
+        Arc::clone(cache.invariant.as_ref().expect("invariant just computed"))
+    }
+
+    /// How many times this database has built its cell complex from scratch.
+    ///
+    /// Diagnostic for cache effectiveness: any sequence of reads between two
+    /// updates should increase this by at most one, whatever mix of
+    /// [`TopoDatabase::relation`], [`TopoDatabase::relation_matrix`],
+    /// [`TopoDatabase::query`], [`TopoDatabase::invariant`] or
+    /// [`TopoDatabase::thematic`] calls it makes.
+    pub fn complex_build_count(&self) -> u64 {
+        self.complex_builds.get()
     }
 
     /// The thematic relational database `thematic(I)` over the schema `Th`.
@@ -159,7 +188,8 @@ impl TopoDatabase {
         invariant::thematic::to_database(&self.invariant())
     }
 
-    /// The 4-intersection relation between two named regions.
+    /// The 4-intersection relation between two named regions, answered from
+    /// the cached cell complex.
     pub fn relation(&self, a: &str, b: &str) -> Result<Relation4, TopoDbError> {
         for name in [a, b] {
             if self.instance.ext(name).is_none() {
@@ -171,9 +201,10 @@ impl TopoDatabase {
             .ok_or_else(|| TopoDbError::UnknownRegion(format!("{a} / {b}")))
     }
 
-    /// All pairwise relations, in name order.
+    /// All pairwise relations, in name order, answered from the cached cell
+    /// complex — the arrangement is not rebuilt per call.
     pub fn relation_matrix(&self) -> Vec<(String, String, Relation4)> {
-        relations::all_pairwise_relations(&self.instance)
+        relations::all_pairwise_relations_in_complex(&self.cell_complex())
     }
 
     /// Is this database topologically equivalent (homeomorphic) to another?
@@ -250,6 +281,41 @@ mod tests {
         let d = TopoDatabase::from_instance(fixtures::fig_1d());
         assert!(a.homeomorphic_to(&b));
         assert!(!a.homeomorphic_to(&d));
+    }
+
+    #[test]
+    fn derived_structures_are_cached_and_shared() {
+        let mut db = TopoDatabase::from_instance(fixtures::fig_1c());
+        assert_eq!(db.complex_build_count(), 0, "nothing built before first use");
+
+        // Any mix of reads performs exactly one construction...
+        let c1 = db.cell_complex();
+        let matrix = db.relation_matrix();
+        assert_eq!(matrix.len(), 1);
+        let _ = db.relation("A", "B").unwrap();
+        let _ = db.query("overlap(A, B)").unwrap();
+        let inv1 = db.invariant();
+        let _ = db.thematic();
+        let _ = db.summary();
+        assert_eq!(db.complex_build_count(), 1, "reads must reuse the cached complex");
+
+        // ...and hands out the same shared allocation, not deep copies.
+        let c2 = db.cell_complex();
+        assert!(Arc::ptr_eq(&c1, &c2), "cell_complex() must return the cached Arc");
+        let inv2 = db.invariant();
+        assert!(Arc::ptr_eq(&inv1, &inv2), "invariant() must return the cached Arc");
+
+        // Updates invalidate: exactly one rebuild serves the next burst.
+        db.insert("C", spatial_core::region::Region::rect_from_ints(20, 20, 24, 24));
+        let _ = db.relation_matrix();
+        let c3 = db.cell_complex();
+        let _ = db.relation("A", "C").unwrap();
+        assert_eq!(db.complex_build_count(), 2);
+        assert!(!Arc::ptr_eq(&c1, &c3), "update must produce a fresh complex");
+        // The pre-update Arc is still alive and unchanged (snapshot isolation
+        // for long-lived readers).
+        assert_eq!(c1.region_names().len(), 2);
+        assert_eq!(c3.region_names().len(), 3);
     }
 
     #[test]

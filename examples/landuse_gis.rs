@@ -45,9 +45,16 @@ fn main() {
     println!("\nintegrity rule `{rule}`: {:?}", db.query(rule).unwrap());
 
     // Flood planning: is there a dry corridor through the flood zone — a
-    // region inside the flood zone avoiding the wetland?
+    // region inside the flood zone avoiding the wetland? Every region of
+    // this map is a rectangle, so the query lives in the paper's tractable
+    // FO(Rect, Rect) fragment (Theorem 6.4) and is answered by the
+    // rectangle evaluator; the generic cell-union evaluator would face an
+    // exponential quantifier domain on an overlay map of this size.
     let corridor = "exists r . subset(r, FloodZone) and disjoint(r, Wetland)";
-    println!("dry corridor inside flood zone: {:?}", db.query(corridor).unwrap());
+    let formula = topodb::query::parse(corridor).unwrap();
+    let answer =
+        topodb::query::rect_eval::eval_on_rect_instance(db.instance(), &formula).unwrap();
+    println!("dry corridor inside flood zone: {answer:?}");
 }
 
 /// A small local copy of the datagen grid generator (examples avoid dev-only

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the arrangement-construction scaling benchmarks and write the results
+# to BENCH_arrangement.json at the repository root — the perf-trajectory
+# baseline for the splitting phase (Bentley–Ottmann sweep vs. naive oracle).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# The benchmark harness (vendor/criterion) emits machine-readable records to
+# the path named by $BENCH_JSON: an array of
+#   {"id": "<group>/<benchmark>", "ns_per_iter": <median>, "samples": <n>}.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_arrangement.json}"
+# The bench binary runs with the package directory as cwd, so hand it an
+# absolute path.
+case "${out}" in
+    /*) abs_out="${out}" ;;
+    *) abs_out="$(pwd)/${out}" ;;
+esac
+
+echo "running splitting_sweep_vs_naive scaling group -> ${out}" >&2
+BENCH_JSON="${abs_out}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
+
+# Sanity: the snapshot must exist, parse as a JSON array, and show the sweep
+# beating the naive splitter at the largest construction size.
+if [ ! -s "${out}" ]; then
+    echo "error: ${out} was not written" >&2
+    exit 1
+fi
+
+largest=$(grep -o '"id": "[^"]*"' "${out}" | sed 's/.*naive\/grid\///; s/"//' | sort -n | tail -1)
+sweep_ns=$(grep "sweep/grid/${largest}\"" "${out}" | grep -o '"ns_per_iter": [0-9.]*' | grep -o '[0-9.]*$')
+naive_ns=$(grep "naive/grid/${largest}\"" "${out}" | grep -o '"ns_per_iter": [0-9.]*' | grep -o '[0-9.]*$')
+if [ -n "${sweep_ns}" ] && [ -n "${naive_ns}" ]; then
+    faster=$(awk -v s="${sweep_ns}" -v n="${naive_ns}" 'BEGIN { print (s < n) ? "yes" : "no" }')
+    echo "largest grid n=${largest}: sweep=${sweep_ns} ns, naive=${naive_ns} ns, sweep faster: ${faster}" >&2
+    if [ "${faster}" != "yes" ]; then
+        echo "error: sweep did not beat the naive splitter at n=${largest}" >&2
+        exit 1
+    fi
+fi
+
+echo "wrote ${out}" >&2

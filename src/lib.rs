@@ -1,0 +1,8 @@
+//! Root package of the reproduction workspace.
+//!
+//! This crate intentionally contains no code of its own: it exists to host
+//! the workspace-level integration tests (`tests/`) and runnable examples
+//! (`examples/`). All functionality lives in the crates under `crates/`,
+//! re-exported through the [`topodb`] facade.
+
+pub use topodb;

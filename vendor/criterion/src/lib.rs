@@ -1,0 +1,310 @@
+//! Offline shim for the subset of the `criterion` crate API this workspace
+//! uses.
+//!
+//! The build container has no access to crates.io, so the benchmark harness
+//! is backed by this minimal, API-compatible measurement core instead of the
+//! real Criterion. It supports:
+//!
+//! * [`Criterion::benchmark_group`] / [`BenchmarkGroup::bench_function`] /
+//!   [`BenchmarkGroup::bench_with_input`] / [`Bencher::iter`],
+//! * the [`criterion_group!`] / [`criterion_main!`] macros (both the
+//!   `name = …; config = …; targets = …` form and the plain list form),
+//! * `--test` smoke mode (each routine runs exactly once — this is what
+//!   `cargo bench -- --test` and `cargo test --benches` exercise in CI),
+//! * a positional substring filter on benchmark ids,
+//! * machine-readable output: when the `BENCH_JSON` environment variable is
+//!   set, a JSON array of `{id, ns_per_iter, samples}` records is written to
+//!   that path at exit (used by `scripts/bench_snapshot.sh`).
+//!
+//! Reported numbers are medians of per-sample means, which is enough for the
+//! relative comparisons the harness makes (e.g. sweep vs. naive splitting);
+//! absolute numbers are not comparable with real-Criterion output.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The benchmark driver: measurement configuration plus CLI-derived mode.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if !s.starts_with('-') && filter.is_none() => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+
+        // Warm-up: run with growing iteration counts until the warm-up budget
+        // is spent, producing a per-iteration estimate.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed / (b.iters as u32);
+            }
+            if b.iters < 1 << 30 {
+                b.iters *= 2;
+            }
+        }
+
+        // Measurement: `sample_size` samples, each sized to fill an equal
+        // share of the measurement budget.
+        let per_sample = self.measurement_time / (self.sample_size as u32);
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, c| a.partial_cmp(c).expect("durations are finite"));
+        let median = samples_ns[samples_ns.len() / 2];
+        println!(
+            "bench: {id} ... {:>12.1} ns/iter (samples={}, iters/sample={})",
+            median, self.sample_size, iters
+        );
+        results().lock().expect("results lock").push(BenchResult {
+            id: id.to_string(),
+            ns_per_iter: median,
+            samples: self.sample_size,
+        });
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-benchmark timing driver handed to the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it as many times as the driver requested.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export of `std::hint::black_box` for API compatibility.
+pub use std::hint::black_box;
+
+struct BenchResult {
+    id: String,
+    ns_per_iter: f64,
+    samples: usize,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Support machinery used by the macros; not part of the public API surface.
+pub mod private {
+    use super::results;
+    use std::io::Write;
+
+    fn json_escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    /// Write collected results to `$BENCH_JSON` (if set) as a JSON array.
+    pub fn finalize() {
+        let Ok(path) = std::env::var("BENCH_JSON") else { return };
+        if path.is_empty() {
+            return;
+        }
+        let results = results().lock().expect("results lock");
+        let mut out = String::from("[\n");
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"samples\": {}}}{}\n",
+                json_escape(&r.id),
+                r.ns_per_iter,
+                r.samples,
+                if i + 1 < results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!("wrote {} benchmark record(s) to {path}", results.len()),
+            Err(e) => eprintln!("failed to write BENCH_JSON={path}: {e}"),
+        }
+    }
+}
+
+/// Define a benchmark group: either
+/// `criterion_group!(name, target1, target2)` or the configured form
+/// `criterion_group! { name = n; config = expr; targets = t1, t2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::private::finalize();
+        }
+    };
+}

@@ -1,0 +1,162 @@
+//! Offline shim for the subset of the `rand` crate API this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors a
+//! minimal, API-compatible replacement: [`rngs::StdRng`], [`SeedableRng`] and
+//! [`Rng::gen_range`] over integer ranges. The generator is a SplitMix64 —
+//! deterministic in the seed, which is the only property the workload
+//! generators in `datagen` rely on. The streams differ from upstream `rand`,
+//! so seeds are *not* reproducible against the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct a generator deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from the given integer range. Panics if empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can produce a uniform sample (mirror of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Sample a single value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` below `bound` (> 0) without modulo bias, by rejection on the
+/// top of the range.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, width);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return (lo as i128 + rng.next_u64() as i128) as $t;
+                }
+                let off = uniform_below(rng, width + 1);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, one
+            // 64-bit word of state, and trivially seedable — ample for
+            // deterministic workload generation.
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<i64> = (0..32).map(|_| a.gen_range(0i64..1000)).collect();
+        let vb: Vec<i64> = (0..32).map(|_| b.gen_range(0i64..1000)).collect();
+        let vc: Vec<i64> = (0..32).map(|_| c.gen_range(0i64..1000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5usize..=9);
+            assert!((5..=9).contains(&w));
+            let x = rng.gen_range(-10i32..=10);
+            assert!((-10..=10).contains(&x));
+        }
+        // Tight one-element ranges work.
+        assert_eq!(rng.gen_range(4i64..5), 4);
+        assert_eq!(rng.gen_range(4usize..=4), 4);
+    }
+
+    #[test]
+    fn covers_whole_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
