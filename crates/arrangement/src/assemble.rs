@@ -1,0 +1,436 @@
+//! Assembly of per-component sub-complexes into the global
+//! [`CellComplex`](crate::CellComplex).
+//!
+//! The [`crate::partition`] step guarantees that different components share
+//! no vertex or edge of the arrangement, so the global complex is the
+//! disjoint union of the component complexes *except* for the 2-cells: a
+//! whole component may sit inside a bounded face of another (strict nesting
+//! without bounding-box contact), and the unbounded faces of all root
+//! components are one and the same global exterior face. Assembly therefore:
+//!
+//! 1. locates every component in the face structure of the others (innermost
+//!    bounded cycle containing a representative point — the cycles of
+//!    distinct components never cross, so the innermost containing cycle
+//!    identifies the parent face exactly);
+//! 2. merges each nested component's local exterior face into its parent
+//!    face (and all root components' exteriors into the global exterior),
+//!    extending the parent's boundary-edge set with the component's outer
+//!    boundary;
+//! 3. widens every cell label from the component's region subset to the full
+//!    instance: signs for foreign regions are inherited from the parent
+//!    face's label, resolved parents-before-children over the nesting forest.
+//!
+//! A [`ComponentComplex`] is immutable and shared behind an
+//! [`Arc`](std::sync::Arc) by the component cache in `topodb`: re-assembling
+//! after a localized update reuses every untouched component unchanged.
+
+use crate::builder::build_local;
+use crate::complex::CellComplex;
+use crate::geometry::point_in_closed_polyline;
+use crate::partition::{BBox, ComponentGroup};
+use crate::split::{split_segments, TaggedSegment};
+use crate::types::*;
+use spatial_core::prelude::*;
+use std::sync::Arc;
+
+/// The outer cycle of one bounded face of a component complex, kept for the
+/// cross-component nesting tests of the assembly step.
+#[derive(Clone, Debug)]
+pub struct BoundedCycle {
+    /// The bounded face this cycle is the outer boundary of.
+    pub(crate) face: FaceId,
+    /// The closed walk realizing the cycle (last point omitted).
+    pub(crate) polyline: Vec<Point>,
+    /// Twice the signed area of the walk (positive).
+    pub(crate) area2: Rational,
+}
+
+/// The independently built cell complex of one interaction component,
+/// together with the geometric data the assembly step needs to embed it into
+/// the global complex.
+#[derive(Clone, Debug)]
+pub struct ComponentComplex {
+    complex: CellComplex,
+    bounded_cycles: Vec<BoundedCycle>,
+    bbox: Option<BBox>,
+    rep_point: Option<Point>,
+}
+
+impl ComponentComplex {
+    /// The component's local cell complex (labels cover only the component's
+    /// own regions).
+    pub fn complex(&self) -> &CellComplex {
+        &self.complex
+    }
+
+    /// The region names of this component, in sorted order.
+    pub fn region_names(&self) -> &[String] {
+        self.complex.region_names()
+    }
+
+    /// The bounding box of the component's geometry (`None` for a component
+    /// with no segments).
+    pub fn bbox(&self) -> Option<&BBox> {
+        self.bbox.as_ref()
+    }
+}
+
+/// Build the sub-complex of one component from its tagged boundary segments
+/// (`region` tags index `region_names`).
+pub fn build_component_complex(
+    region_names: Vec<String>,
+    segments: &[TaggedSegment],
+) -> ComponentComplex {
+    let bbox = segments
+        .iter()
+        .map(|t| BBox::of_segment(&t.segment))
+        .reduce(|a, b| a.union(&b));
+    let subs = split_segments(segments);
+    let (complex, bounded_cycles) = build_local(region_names, &subs);
+    let rep_point = complex.vertices.first().map(|v| v.point);
+    ComponentComplex { complex, bounded_cycles, bbox, rep_point }
+}
+
+/// Build the sub-complex of one partition group of an instance.
+pub fn build_group_component(
+    instance: &SpatialInstance,
+    group: &ComponentGroup,
+) -> ComponentComplex {
+    let names = instance.names();
+    let mut local_names = Vec::with_capacity(group.region_indices.len());
+    let mut segments = Vec::new();
+    for (local, &gi) in group.region_indices.iter().enumerate() {
+        let name = names[gi];
+        let region = instance.ext(name).expect("group region exists");
+        local_names.push(name.to_string());
+        for segment in region.boundary().edges() {
+            segments.push(TaggedSegment { segment, region: local });
+        }
+    }
+    build_component_complex(local_names, &segments)
+}
+
+/// Overwrite the positions of a component's own regions in an inherited
+/// parent label.
+fn widen_label(parent: &Label, local: &Label, region_map: &[usize]) -> Label {
+    let mut out = parent.clone();
+    for (li, &gi) in region_map.iter().enumerate() {
+        out[gi] = local[li];
+    }
+    out
+}
+
+/// Stitch component complexes into the global cell complex of the instance
+/// with region set `global_names` (sorted; every component's region set must
+/// be a subset).
+pub fn assemble_components(
+    global_names: Vec<String>,
+    components: &[Arc<ComponentComplex>],
+) -> CellComplex {
+    let n_regions = global_names.len();
+    let exterior = FaceId(0);
+    if components.is_empty() {
+        return CellComplex {
+            region_names: global_names,
+            vertices: vec![],
+            edges: vec![],
+            faces: vec![FaceData {
+                is_exterior: true,
+                boundary_edges: vec![],
+                label: vec![Sign::Exterior; n_regions],
+                sample_point: None,
+            }],
+            exterior,
+        };
+    }
+
+    let k = components.len();
+
+    // Local-to-global region index map per component.
+    let region_map: Vec<Vec<usize>> = components
+        .iter()
+        .map(|c| {
+            c.region_names()
+                .iter()
+                .map(|n| {
+                    global_names
+                        .binary_search(n)
+                        .expect("component region is in the global name set")
+                })
+                .collect()
+        })
+        .collect();
+
+    // Vertex/edge id offsets by concatenation; face ids: 0 is the global
+    // exterior, bounded local faces get fresh sequential ids.
+    let mut vertex_off = vec![0usize; k];
+    let mut edge_off = vec![0usize; k];
+    let mut face_map: Vec<Vec<FaceId>> = Vec::with_capacity(k);
+    let mut next_face = 1usize;
+    {
+        let (mut voff, mut eoff) = (0usize, 0usize);
+        for (c, comp) in components.iter().enumerate() {
+            vertex_off[c] = voff;
+            edge_off[c] = eoff;
+            voff += comp.complex.vertex_count();
+            eoff += comp.complex.edge_count();
+            let local_ext = comp.complex.exterior;
+            let map = (0..comp.complex.face_count())
+                .map(|f| {
+                    if FaceId(f) == local_ext {
+                        exterior // placeholder, fixed up after nesting below
+                    } else {
+                        next_face += 1;
+                        FaceId(next_face - 1)
+                    }
+                })
+                .collect();
+            face_map.push(map);
+        }
+    }
+
+    // Nesting: the parent of a component is the innermost bounded cycle of
+    // any *other* component containing its representative point. Cycles of
+    // distinct components never cross (partitioning keeps their geometry
+    // disjoint), so the containing cycles form a laminar family and the
+    // innermost one is the face the component sits in.
+    let mut parent_comp: Vec<Option<usize>> = vec![None; k];
+    let mut parent_face: Vec<FaceId> = vec![exterior; k]; // global id
+    for c in 0..k {
+        let Some(rep) = components[c].rep_point else { continue };
+        let mut best: Option<(Rational, usize, FaceId)> = None;
+        for (d, comp) in components.iter().enumerate() {
+            if d == c || !comp.bbox.as_ref().is_some_and(|b| b.contains_point(&rep)) {
+                continue;
+            }
+            for cyc in &comp.bounded_cycles {
+                if point_in_closed_polyline(&rep, &cyc.polyline) {
+                    let area = cyc.area2.abs();
+                    if best.as_ref().is_none_or(|(a, _, _)| area < *a) {
+                        best = Some((area, d, cyc.face));
+                    }
+                }
+            }
+        }
+        if let Some((_, d, f)) = best {
+            parent_comp[c] = Some(d);
+            parent_face[c] = face_map[d][f.0];
+        }
+    }
+    // A nested component's local exterior face *is* its parent face.
+    for c in 0..k {
+        let local_ext = components[c].complex.exterior;
+        face_map[c][local_ext.0] = parent_face[c];
+    }
+
+    // Resolve labels parents-before-children over the nesting forest.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut topo: Vec<usize> = Vec::with_capacity(k);
+    for (c, parent) in parent_comp.iter().enumerate() {
+        match parent {
+            Some(d) => children[*d].push(c),
+            None => topo.push(c),
+        }
+    }
+    let mut i = 0;
+    while i < topo.len() {
+        let d = topo[i];
+        topo.extend(children[d].iter().copied());
+        i += 1;
+    }
+    debug_assert_eq!(topo.len(), k, "nesting forest must cover all components");
+
+    // Global faces: start with the exterior, then translate every bounded
+    // local face; nested components extend their parent face's boundary with
+    // their own outer boundary.
+    let mut faces: Vec<FaceData> = vec![FaceData {
+        is_exterior: true,
+        boundary_edges: vec![],
+        label: vec![Sign::Exterior; n_regions],
+        sample_point: None,
+    }];
+    faces.resize(
+        next_face,
+        FaceData {
+            is_exterior: false,
+            boundary_edges: vec![],
+            label: vec![],
+            sample_point: None,
+        },
+    );
+    for (c, comp) in components.iter().enumerate() {
+        for f in comp.complex.face_ids() {
+            let gf = face_map[c][f.0];
+            let data = comp.complex.face(f);
+            let translated: Vec<EdgeId> =
+                data.boundary_edges.iter().map(|e| EdgeId(e.0 + edge_off[c])).collect();
+            if f == comp.complex.exterior {
+                // Merged into the parent face (or the global exterior).
+                faces[gf.0].boundary_edges.extend(translated);
+            } else {
+                faces[gf.0].boundary_edges.extend(translated);
+                faces[gf.0].sample_point = data.sample_point;
+            }
+        }
+    }
+    for face in &mut faces {
+        face.boundary_edges.sort();
+        face.boundary_edges.dedup();
+    }
+
+    // A parent face's locally computed sample point may now fall inside (or
+    // on) a component embedded into it by this assembly; drop it then. The
+    // bounding-box test is conservative — a lost sample is always safe, a
+    // stale one never is.
+    for (c, comp) in components.iter().enumerate() {
+        if parent_comp[c].is_none() {
+            continue; // the exterior face carries no sample point
+        }
+        let pf = parent_face[c];
+        if let (Some(p), Some(bbox)) = (faces[pf.0].sample_point, comp.bbox.as_ref()) {
+            if bbox.contains_point(&p) {
+                faces[pf.0].sample_point = None;
+            }
+        }
+    }
+
+    // Face labels, parents first: a component's cells inherit the parent
+    // face's signs for all foreign regions and keep their local signs for the
+    // component's own regions.
+    let mut inherited: Vec<Label> = vec![Vec::new(); k];
+    for &c in &topo {
+        let parent_label = faces[parent_face[c].0].label.clone();
+        debug_assert_eq!(parent_label.len(), n_regions, "parent labels resolve before children");
+        let comp = &components[c].complex;
+        for f in comp.face_ids() {
+            if f == comp.exterior {
+                continue;
+            }
+            faces[face_map[c][f.0].0].label =
+                widen_label(&parent_label, &comp.face(f).label, &region_map[c]);
+        }
+        inherited[c] = parent_label;
+    }
+
+    // Edges and vertices, concatenated in component order.
+    let mut edges: Vec<EdgeData> = Vec::new();
+    let mut vertices: Vec<VertexData> = Vec::new();
+    for (c, comp) in components.iter().enumerate() {
+        let cx = &comp.complex;
+        for e in cx.edge_ids() {
+            let data = cx.edge(e);
+            edges.push(EdgeData {
+                tail: VertexId(data.tail.0 + vertex_off[c]),
+                head: VertexId(data.head.0 + vertex_off[c]),
+                polyline: data.polyline.clone(),
+                on_boundary_of: data.on_boundary_of.iter().map(|&r| region_map[c][r]).collect(),
+                left_face: face_map[c][data.left_face.0],
+                right_face: face_map[c][data.right_face.0],
+                label: widen_label(&inherited[c], &data.label, &region_map[c]),
+            });
+        }
+        for v in cx.vertex_ids() {
+            let data = cx.vertex(v);
+            vertices.push(VertexData {
+                point: data.point,
+                label: widen_label(&inherited[c], &data.label, &region_map[c]),
+                rotation: data.rotation.iter().map(|d| DartId(d.0 + 2 * edge_off[c])).collect(),
+            });
+        }
+    }
+
+    CellComplex { region_names: global_names, vertices, edges, faces, exterior }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_instance;
+
+    fn assemble_instance(inst: &SpatialInstance) -> CellComplex {
+        let global_names: Vec<String> = inst.names().iter().map(|s| s.to_string()).collect();
+        let comps: Vec<Arc<ComponentComplex>> = partition_instance(inst)
+            .iter()
+            .map(|g| Arc::new(build_group_component(inst, g)))
+            .collect();
+        assemble_components(global_names, &comps)
+    }
+
+    #[test]
+    fn nested_separated_squares() {
+        // Strict nesting with no bounding-box contact between any segments:
+        // the partition yields two components, and assembly must embed the
+        // inner one into the outer one's interior face.
+        let inst = SpatialInstance::from_regions([
+            ("Inner", Region::rect_from_ints(40, 40, 60, 60)),
+            ("Outer", Region::rect_from_ints(0, 0, 100, 100)),
+        ]);
+        let c = assemble_instance(&inst);
+        assert_eq!(c.vertex_count(), 2);
+        assert_eq!(c.edge_count(), 2);
+        assert_eq!(c.face_count(), 3);
+        assert!(c.euler_formula_holds());
+        // The annulus face (Outer only) is bounded by both loops.
+        let annulus = c
+            .face_ids()
+            .find(|f| c.face(*f).label == vec![Sign::Exterior, Sign::Interior])
+            .expect("outer-only face exists");
+        assert_eq!(c.face_edges(annulus).len(), 2);
+        // The innermost face is inside both regions.
+        assert!(c
+            .face_ids()
+            .any(|f| c.face(f).label == vec![Sign::Interior, Sign::Interior]));
+        // The exterior sees only Outer's boundary.
+        assert_eq!(c.face_edges(c.exterior_face()).len(), 1);
+    }
+
+    #[test]
+    fn two_levels_of_separated_nesting() {
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 100, 100)),
+            ("B", Region::rect_from_ints(20, 20, 80, 80)),
+            ("C", Region::rect_from_ints(45, 45, 55, 55)),
+        ]);
+        let c = assemble_instance(&inst);
+        assert_eq!(partition_instance(&inst).len(), 3);
+        assert_eq!(c.face_count(), 4);
+        assert!(c.euler_formula_holds());
+        let mut labels: Vec<Label> = c.face_ids().map(|f| c.face(f).label.clone()).collect();
+        labels.sort();
+        let mut expected = vec![
+            vec![Sign::Exterior, Sign::Exterior, Sign::Exterior],
+            vec![Sign::Interior, Sign::Exterior, Sign::Exterior],
+            vec![Sign::Interior, Sign::Interior, Sign::Exterior],
+            vec![Sign::Interior, Sign::Interior, Sign::Interior],
+        ];
+        expected.sort();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn siblings_inside_one_face() {
+        // Two separated islands inside the same host face.
+        let inst = SpatialInstance::from_regions([
+            ("Host", Region::rect_from_ints(0, 0, 100, 50)),
+            ("L", Region::rect_from_ints(10, 10, 30, 30)),
+            ("R", Region::rect_from_ints(60, 10, 80, 30)),
+        ]);
+        let c = assemble_instance(&inst);
+        assert_eq!(c.face_count(), 4);
+        assert!(c.euler_formula_holds());
+        let host_only = c
+            .face_ids()
+            .find(|f| c.face(*f).label == vec![Sign::Interior, Sign::Exterior, Sign::Exterior])
+            .expect("host-only face");
+        // Host's own loop + both island loops.
+        assert_eq!(c.face_edges(host_only).len(), 3);
+    }
+
+    #[test]
+    fn empty_assembly_is_single_exterior_face() {
+        let c = assemble_components(vec![], &[]);
+        assert_eq!(c.face_count(), 1);
+        assert_eq!(c.vertex_count(), 0);
+        assert!(c.euler_formula_holds());
+    }
+}

@@ -2,32 +2,74 @@
 //! instance.
 //!
 //! This is the polygonal counterpart of the Kozen–Yap cell-decomposition
-//! algorithm the paper relies on for semi-algebraic inputs (see `DESIGN.md`):
-//! the input boundaries are split at their mutual intersections (by the
-//! Bentley–Ottmann plane sweep of [`crate::sweep`]), merged into maximal
-//! 1-cells, the faces are extracted from the combinatorial embedding,
-//! disconnected components are nested into the faces that contain them, and
-//! every cell receives its sign label by exact combinatorial propagation from
-//! the unbounded face.
+//! algorithm the paper relies on for semi-algebraic inputs (see `DESIGN.md`).
+//! [`build_complex`] is a thin compose of three phases:
+//!
+//! 1. [`crate::partition`] groups the regions into interaction components
+//!    (connected components of the segment bounding-box overlap graph);
+//! 2. each component is built independently by the local pipeline in this
+//!    module ([`build_local`] via
+//!    [`crate::assemble::build_group_component`]): its segments are split at
+//!    their mutual intersections by the Bentley–Ottmann plane sweep of
+//!    [`crate::sweep`], merged into maximal 1-cells, the faces extracted
+//!    from the combinatorial embedding, same-component disconnected
+//!    skeletons nested into the faces that contain them, and every cell
+//!    labeled by exact combinatorial propagation from the unbounded face;
+//! 3. [`crate::assemble`] stitches the component complexes into the global
+//!    complex (cross-component nesting, exterior-face unification, label
+//!    widening).
+//!
+//! [`build_complex_monolithic`] preserves the pre-partitioning single-sweep
+//! construction as a differential-testing oracle: both paths must produce
+//! isomorphic complexes on every input.
 
+use crate::assemble::{assemble_components, build_group_component, BoundedCycle};
 use crate::complex::CellComplex;
 use crate::geometry::{closed_polyline_area_doubled, interior_point_of_simple_cycle, point_in_closed_polyline};
+use crate::partition::partition_instance;
 use crate::split::{instance_segments, split_segments, SubSegment};
 use crate::types::*;
 use spatial_core::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Build the maximal labeled cell complex of a spatial instance.
+/// Build the maximal labeled cell complex of a spatial instance by the
+/// partition → per-component sweep → assemble pipeline.
 ///
 /// The complex of the empty instance consists of the single unbounded face.
 pub fn build_complex(instance: &SpatialInstance) -> CellComplex {
     let region_names: Vec<String> = instance.names().iter().map(|s| s.to_string()).collect();
+    let components: Vec<Arc<crate::assemble::ComponentComplex>> = partition_instance(instance)
+        .iter()
+        .map(|group| Arc::new(build_group_component(instance, group)))
+        .collect();
+    assemble_components(region_names, &components)
+}
+
+/// The pre-partitioning construction: one plane sweep over the whole
+/// instance, faces and nesting resolved globally. Kept as the differential
+/// oracle for the partitioned pipeline (and exercised by the `arrangement`
+/// test suite); the two must agree up to cell re-indexing on every input.
+pub fn build_complex_monolithic(instance: &SpatialInstance) -> CellComplex {
+    let region_names: Vec<String> = instance.names().iter().map(|s| s.to_string()).collect();
+    let subs = split_segments(&instance_segments(instance));
+    build_local(region_names, &subs).0
+}
+
+/// The local construction pipeline shared by the per-component and the
+/// monolithic paths: build the cell complex of a set of already split
+/// sub-segments, returning the complex together with the outer cycles of its
+/// bounded faces (the data the assembly step needs for cross-component
+/// nesting tests).
+pub(crate) fn build_local(
+    region_names: Vec<String>,
+    subs: &[SubSegment],
+) -> (CellComplex, Vec<BoundedCycle>) {
     let n_regions = region_names.len();
 
-    let subs = split_segments(&instance_segments(instance));
     if subs.is_empty() {
         // No geometry at all: a single exterior face.
-        return CellComplex {
+        let complex = CellComplex {
             region_names,
             vertices: vec![],
             edges: vec![],
@@ -39,10 +81,11 @@ pub fn build_complex(instance: &SpatialInstance) -> CellComplex {
             }],
             exterior: FaceId(0),
         };
+        return (complex, vec![]);
     }
 
     // ---- Raw graph ----------------------------------------------------
-    let raw = RawGraph::new(&subs);
+    let raw = RawGraph::new(subs);
 
     // ---- Merge chains into maximal 1-cells ------------------------------
     let merged = merge_chains(&raw);
@@ -57,7 +100,8 @@ pub fn build_complex(instance: &SpatialInstance) -> CellComplex {
     let assembled = assemble_faces(&merged, &walks);
 
     // ---- Labels -----------------------------------------------------------
-    finish_complex(region_names, merged, rotations, assembled)
+    let cycles = assembled.bounded_cycles.clone();
+    (finish_complex(region_names, merged, rotations, assembled), cycles)
 }
 
 /// The raw planar graph before chain merging: one vertex per split point, one
@@ -354,6 +398,9 @@ struct AssembledFaces {
     face_of_dart: Vec<FaceId>,
     face_boundaries: Vec<Vec<EdgeId>>,
     face_samples: Vec<Option<Point>>,
+    /// The outer cycle of every bounded face, exported for cross-component
+    /// nesting tests in [`crate::assemble`].
+    bounded_cycles: Vec<BoundedCycle>,
     exterior: FaceId,
 }
 
@@ -407,7 +454,7 @@ fn assemble_faces(g: &MergedGraph, walks: &[Walk]) -> AssembledFaces {
             }
             if point_in_closed_polyline(&rep, &w.polyline) {
                 let area = w.area2.abs();
-                if best.as_ref().map_or(true, |(a, _)| area < *a) {
+                if best.as_ref().is_none_or(|(a, _)| area < *a) {
                     best = Some((area, face_of_bounded_walk[&wi]));
                 }
             }
@@ -470,7 +517,16 @@ fn assemble_faces(g: &MergedGraph, walks: &[Walk]) -> AssembledFaces {
         }
     }
 
-    AssembledFaces { face_of_dart, face_boundaries, face_samples, exterior }
+    let bounded_cycles = bounded_walks
+        .iter()
+        .map(|&wi| BoundedCycle {
+            face: face_of_bounded_walk[&wi],
+            polyline: walks[wi].polyline.clone(),
+            area2: walks[wi].area2,
+        })
+        .collect();
+
+    AssembledFaces { face_of_dart, face_boundaries, face_samples, bounded_cycles, exterior }
 }
 
 /// Compute labels by propagation and assemble the final complex.

@@ -22,19 +22,43 @@
 //!
 //! ## Construction pipeline and cost
 //!
-//! Construction proceeds in two phases. The *splitting* phase cuts every
-//! input segment at every point where it meets another segment; the
-//! production implementation is a Bentley–Ottmann plane sweep in exact
-//! rational arithmetic ([`sweep`]) running in `O((n + k) log n)` for `n`
-//! segments with `k` intersection incidences. The original all-pairs
-//! splitter (`O(n^2)` exact intersection tests) is retained in [`split`] as
-//! a differential-testing oracle: both produce identical sub-segment sets by
-//! construction of the test suite, and the sweep handles the same
-//! degeneracies (endpoint touching, many segments through one point,
-//! vertical segments, collinear overlap chains, shared boundaries merged
-//! with multi-region marks). The *assembly* phase — chain merging, rotation
-//! system, face walks, nesting, labels — is independent of which splitter
-//! produced the pieces.
+//! Construction is a three-stage **partition → per-component sweep →
+//! assemble** pipeline:
+//!
+//! 1. **Partition** ([`partition`]): the boundary segments are grouped into
+//!    connected components of their *interaction graph* (bounding-box
+//!    overlap, union-find). Bounding-box overlap conservatively
+//!    over-approximates geometric intersection, so distinct components
+//!    provably share no vertex or edge of the arrangement.
+//! 2. **Per-component build**: each component is built independently — its
+//!    segments are cut at their mutual intersections by a Bentley–Ottmann
+//!    plane sweep in exact rational arithmetic ([`sweep`], `O((n + k) log
+//!    n)` for `n` segments with `k` intersection incidences), chains are
+//!    merged into maximal 1-cells, the rotation system and face walks
+//!    extracted, and cells labeled by propagation from the unbounded face.
+//!    The result is an immutable [`ComponentComplex`], shareable behind an
+//!    `Arc` so callers (the `topodb` component cache) can reuse untouched
+//!    components across updates.
+//! 3. **Assemble** ([`assemble`]): the component complexes are stitched into
+//!    the global [`CellComplex`] — components strictly nested inside a face
+//!    of another component are embedded there (their local exterior face is
+//!    unified with the parent face), all root components share the single
+//!    global exterior face, and every cell label is widened from the
+//!    component's region subset to the full instance.
+//!
+//! Since components interact with nothing outside themselves, an update that
+//! touches one cluster of a multi-component map only requires re-sweeping
+//! that cluster plus an `O(total cells)` re-assembly — the locality the
+//! `topodb` component cache exploits.
+//!
+//! Two oracles guard the pipeline: the original all-pairs splitter (`O(n^2)`
+//! exact intersection tests) is retained in [`split`] as the sweep's
+//! differential-testing oracle, and the pre-partitioning single-sweep
+//! construction is retained as [`build_complex_monolithic`] as the
+//! pipeline's oracle — both must agree (up to cell re-indexing) on every
+//! input, including the degenerate ones (endpoint touching, many segments
+//! through one point, vertical segments, collinear overlap chains, shared
+//! boundaries merged with multi-region marks).
 //!
 //! ## Example
 //!
@@ -53,15 +77,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assemble;
 mod builder;
 mod complex;
 mod geometry;
+pub mod partition;
 pub mod split;
 pub mod sweep;
 mod types;
 
-pub use builder::build_complex;
+pub use assemble::{assemble_components, build_component_complex, build_group_component, ComponentComplex};
+pub use builder::{build_complex, build_complex_monolithic};
 pub use complex::CellComplex;
+pub use partition::{partition_instance, BBox, ComponentGroup};
 pub use types::{
     CellId, DartId, Dimension, EdgeData, EdgeId, FaceData, FaceId, Label, Sign, VertexData,
     VertexId,

@@ -1,0 +1,264 @@
+//! Partitioning of a spatial instance into independently buildable
+//! interaction components.
+//!
+//! Two boundary segments *interact* when their axis-aligned bounding boxes
+//! overlap — a cheap, conservative over-approximation of geometric
+//! intersection (any two segments that actually meet have overlapping boxes).
+//! The connected components of this interaction graph (segments of one region
+//! are additionally linked to each other, since a region boundary is one
+//! closed curve) partition the region set into groups that provably share no
+//! vertex or edge of the arrangement: each group's sub-complex can be built
+//! by an independent plane sweep and the results stitched together by
+//! [`crate::assemble`].
+//!
+//! Components may still be *nested* (one group's geometry strictly inside a
+//! face of another's, with no bounding-box contact between any pair of
+//! segments); the assembly step resolves that containment. What partitioning
+//! guarantees is the absence of 0-/1-cell interaction, which is all the
+//! per-component sweep needs.
+
+use crate::split::TaggedSegment;
+use spatial_core::prelude::*;
+
+/// A closed axis-aligned bounding box in exact rational coordinates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BBox {
+    /// Smallest x coordinate.
+    pub x0: Rational,
+    /// Smallest y coordinate.
+    pub y0: Rational,
+    /// Largest x coordinate.
+    pub x1: Rational,
+    /// Largest y coordinate.
+    pub y1: Rational,
+}
+
+impl BBox {
+    /// The bounding box of a segment.
+    pub fn of_segment(s: &Segment) -> BBox {
+        BBox {
+            x0: s.a.x.min(s.b.x),
+            y0: s.a.y.min(s.b.y),
+            x1: s.a.x.max(s.b.x),
+            y1: s.a.y.max(s.b.y),
+        }
+    }
+
+    /// The bounding box of a region (of its boundary polygon).
+    pub fn of_region(region: &Region) -> BBox {
+        let (x0, y0, x1, y1) = region.bounding_box();
+        BBox { x0, y0, x1, y1 }
+    }
+
+    /// Do two closed boxes share at least one point? (Touching counts:
+    /// segments meeting only at an endpoint must still interact.)
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Does the closed box contain a point?
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.x0 <= p.x && p.x <= self.x1 && self.y0 <= p.y && p.y <= self.y1
+    }
+
+    /// The smallest box containing both operands.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+}
+
+/// One connected component of the segment interaction graph, reported at
+/// region granularity (every segment of a region lands in the same component,
+/// so components partition the region set).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ComponentGroup {
+    /// Sorted indices (in instance name order) of the member regions.
+    pub region_indices: Vec<usize>,
+    /// Union of the member segments' bounding boxes.
+    pub bbox: BBox,
+}
+
+/// Union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Partition the boundary segments of an instance into interaction
+/// components, reported as disjoint region groups sorted by smallest member
+/// index (so the output order is deterministic in the instance).
+///
+/// Cost: `O(s log s + s·w)` for `s` segments, where `w` is the number of
+/// simultaneously x-overlapping segment boxes — effectively the sweep-width
+/// of the instance, far below `s` on realistic multi-cluster maps.
+pub fn partition_instance(instance: &SpatialInstance) -> Vec<ComponentGroup> {
+    let mut segments: Vec<TaggedSegment> = Vec::new();
+    for (idx, (_, region)) in instance.iter().enumerate() {
+        for segment in region.boundary().edges() {
+            segments.push(TaggedSegment { segment, region: idx });
+        }
+    }
+    partition_segments(&segments, instance.len())
+}
+
+/// Partition tagged segments into interaction components over `n_regions`
+/// regions. See [`partition_instance`].
+pub fn partition_segments(segments: &[TaggedSegment], n_regions: usize) -> Vec<ComponentGroup> {
+    let s = segments.len();
+    let boxes: Vec<BBox> = segments.iter().map(|t| BBox::of_segment(&t.segment)).collect();
+    let mut uf = UnionFind::new(s);
+
+    // All segments of one region are connected (a region boundary is a single
+    // closed curve): link them through the first segment seen per region.
+    let mut first_of_region: Vec<Option<usize>> = vec![None; n_regions];
+    for (i, t) in segments.iter().enumerate() {
+        match first_of_region[t.region] {
+            None => first_of_region[t.region] = Some(i),
+            Some(f) => uf.union(f, i),
+        }
+    }
+
+    // Interval sweep over x: segments whose x-ranges overlap are candidates;
+    // union those whose y-ranges overlap too.
+    let mut order: Vec<usize> = (0..s).collect();
+    order.sort_by(|&a, &b| boxes[a].x0.cmp(&boxes[b].x0).then_with(|| a.cmp(&b)));
+    let mut active: Vec<usize> = Vec::new();
+    for &i in &order {
+        active.retain(|&j| boxes[j].x1 >= boxes[i].x0);
+        for &j in &active {
+            if boxes[i].y0 <= boxes[j].y1 && boxes[j].y0 <= boxes[i].y1 {
+                uf.union(i, j);
+            }
+        }
+        active.push(i);
+    }
+
+    // Collapse to region groups keyed by the component root.
+    let mut groups: Vec<(Vec<usize>, Option<BBox>)> = Vec::new();
+    let mut group_of_root: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    for i in 0..s {
+        let root = uf.find(i);
+        let g = *group_of_root.entry(root).or_insert_with(|| {
+            groups.push((Vec::new(), None));
+            groups.len() - 1
+        });
+        let (regions, bbox) = &mut groups[g];
+        if !regions.contains(&segments[i].region) {
+            regions.push(segments[i].region);
+        }
+        *bbox = Some(match bbox.take() {
+            None => boxes[i].clone(),
+            Some(b) => b.union(&boxes[i]),
+        });
+    }
+
+    let mut out: Vec<ComponentGroup> = groups
+        .into_iter()
+        .map(|(mut regions, bbox)| {
+            regions.sort_unstable();
+            ComponentGroup {
+                region_indices: regions,
+                bbox: bbox.expect("every group has at least one segment"),
+            }
+        })
+        .collect();
+    out.sort_by_key(|g| g.region_indices[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::fixtures;
+
+    #[test]
+    fn disjoint_clusters_split() {
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 2, 2)),
+            ("B", Region::rect_from_ints(1, 1, 3, 3)),
+            ("C", Region::rect_from_ints(50, 50, 52, 52)),
+        ]);
+        let groups = partition_instance(&inst);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].region_indices, vec![0, 1]);
+        assert_eq!(groups[1].region_indices, vec![2]);
+    }
+
+    #[test]
+    fn overlapping_fixture_is_one_group() {
+        let groups = partition_instance(&fixtures::fig_1c());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].region_indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn strictly_nested_rectangles_are_separate_groups() {
+        // Inner square deep inside the outer one: no segment boxes touch, so
+        // partitioning keeps them apart; assembly resolves the nesting.
+        let inst = SpatialInstance::from_regions([
+            ("Inner", Region::rect_from_ints(40, 40, 60, 60)),
+            ("Outer", Region::rect_from_ints(0, 0, 100, 100)),
+        ]);
+        let groups = partition_instance(&inst);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn touching_regions_share_a_group() {
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 4, 4)),
+            ("B", Region::rect_from_ints(4, 1, 8, 3)),
+        ]);
+        assert_eq!(partition_instance(&inst).len(), 1);
+    }
+
+    #[test]
+    fn empty_instance_has_no_groups() {
+        assert!(partition_instance(&SpatialInstance::new()).is_empty());
+    }
+
+    #[test]
+    fn bbox_predicates() {
+        let a = BBox::of_segment(&seg(0, 0, 4, 2));
+        let b = BBox::of_segment(&seg(4, 2, 6, 0));
+        let c = BBox::of_segment(&seg(10, 10, 12, 12));
+        assert!(a.intersects(&b), "touching at a corner counts");
+        assert!(!a.intersects(&c));
+        assert!(a.contains_point(&pt(2, 1)));
+        assert!(!a.contains_point(&pt(5, 1)));
+        let u = a.union(&c);
+        assert!(u.contains_point(&pt(7, 7)));
+    }
+}

@@ -115,7 +115,7 @@ pub fn assemble_subsegments(segments: &[TaggedSegment], cuts: &CutSets) -> Vec<S
         // Order the cut points along the segment.
         let mut params: Vec<(Rational, Point)> =
             cut_points.iter().map(|p| (ts.segment.param_of(p), *p)).collect();
-        params.sort_by(|a, b| a.0.cmp(&b.0));
+        params.sort_by_key(|a| a.0);
         for w in params.windows(2) {
             let (p, q) = (w[0].1, w[1].1);
             if p == q {

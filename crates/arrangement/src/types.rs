@@ -39,7 +39,7 @@ impl DartId {
 
     /// Is this the forward dart of its edge?
     pub fn is_forward(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The opposite dart of the same edge.

@@ -1,0 +1,83 @@
+//! The incremental-maintenance claim of the component-partitioned pipeline:
+//! on a multi-cluster map, an update touching one cluster followed by a read
+//! costs `O(affected cluster)` re-sweeping plus a cheap re-assembly in a
+//! [`TopoDatabase`], against an `O(whole map)` re-sweep for the
+//! pre-partitioning full rebuild.
+//!
+//! Every measured iteration performs one `insert` into cluster 0 (alternating
+//! between two geometries so the sweep can never be skipped) followed by a
+//! `cell_complex()` read. The `incremental` series keeps one long-lived
+//! database whose component cache carries the 15 untouched clusters across
+//! the update; the `full_rebuild` series re-sweeps the whole updated instance
+//! with the monolithic oracle, which is exactly the pre-component-cache
+//! behavior of `TopoDatabase::insert`. Acceptance: `incremental` is at least
+//! 5x cheaper at 256+ regions (`scripts/bench_snapshot.sh` records both
+//! series in `BENCH_arrangement.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatial_core::region::Region;
+use std::hint::black_box;
+use std::time::Duration;
+use topodb::TopoDatabase;
+
+const CLUSTERS: usize = 16;
+/// Total region counts; with 16 clusters these are 4 / 16 regions per
+/// cluster. 256 is the acceptance point.
+const TOTAL_REGIONS: [usize; 2] = [64, 256];
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// The two alternating update geometries, both inside cluster 0's area.
+fn update_region(flip: bool) -> Region {
+    let (ox, oy) = datagen::cluster_origin(0, CLUSTERS);
+    let span = datagen::CLUSTER_SPAN;
+    if flip {
+        Region::rect_from_ints(ox + 2, oy + 2, ox + span - 4, oy + span - 4)
+    } else {
+        Region::rect_from_ints(ox + 3, oy + 1, ox + span - 6, oy + span - 3)
+    }
+}
+
+fn incremental_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_update");
+    for n in TOTAL_REGIONS {
+        let inst = datagen::clustered_map(CLUSTERS, n / CLUSTERS, 1234);
+
+        // Long-lived database: the component cache survives across updates.
+        let mut db = TopoDatabase::from_instance(inst.clone());
+        let _ = db.cell_complex(); // warm: all clusters swept once
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("incremental", n), &(), |b, _| {
+            b.iter(|| {
+                flip = !flip;
+                db.insert("Update", update_region(flip));
+                black_box(db.cell_complex())
+            })
+        });
+
+        // Pre-component-cache behavior: every update invalidates everything,
+        // so the read re-sweeps the whole map in one monolithic pass.
+        let mut full_inst = inst.clone();
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("full_rebuild", n), &(), |b, _| {
+            b.iter(|| {
+                flip = !flip;
+                full_inst.insert("Update", update_region(flip));
+                black_box(arrangement::build_complex_monolithic(&full_inst))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = incremental_update
+}
+criterion_main!(benches);

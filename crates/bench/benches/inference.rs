@@ -25,7 +25,7 @@ fn thm38_validation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("valid", n), &inv, |b, inv| {
             b.iter(|| assert!(invariant::validate(inv).is_empty()))
         });
-        let corrupted = inv.with_exterior(inv.region_faces(&inst.names()[0].to_string())[0]);
+        let corrupted = inv.with_exterior(inv.region_faces(inst.names()[0])[0]);
         group.bench_with_input(BenchmarkId::new("corrupted", n), &corrupted, |b, inv| {
             b.iter(|| assert!(!invariant::validate(inv).is_empty()))
         });

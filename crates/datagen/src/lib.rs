@@ -138,6 +138,58 @@ pub fn dense_overlap_map(cols: usize, rows: usize, cell_size: i64) -> SpatialIns
     inst
 }
 
+/// The side length of the area a [`clustered_map`] cluster draws its
+/// rectangles in (a rectangle may stick out by at most `CLUSTER_SPAN / 2`).
+pub const CLUSTER_SPAN: i64 = 20;
+
+/// The grid pitch between cluster origins in a [`clustered_map`]: several
+/// times [`CLUSTER_SPAN`], so distinct clusters can never interact.
+pub const CLUSTER_GAP: i64 = CLUSTER_SPAN * 5;
+
+/// The origin of cluster `c` in a [`clustered_map`] with `clusters` clusters
+/// (clusters are laid out row-major on a near-square grid).
+pub fn cluster_origin(c: usize, clusters: usize) -> (i64, i64) {
+    let cols = (clusters as f64).sqrt().ceil() as i64;
+    ((c as i64 % cols) * CLUSTER_GAP, (c as i64 / cols) * CLUSTER_GAP)
+}
+
+/// A pseudo-random rectangle inside cluster `c`'s area of a
+/// [`clustered_map`] — the update generator used by the incremental
+/// maintenance tests and benchmarks to target a single cluster.
+pub fn cluster_rect(rng: &mut StdRng, c: usize, clusters: usize) -> Region {
+    let (ox, oy) = cluster_origin(c, clusters);
+    let x1 = ox + rng.gen_range(0..CLUSTER_SPAN - 2);
+    let y1 = oy + rng.gen_range(0..CLUSTER_SPAN - 2);
+    let w = rng.gen_range(2..=CLUSTER_SPAN / 2);
+    let h = rng.gen_range(2..=CLUSTER_SPAN / 2);
+    Region::rect_from_ints(x1, y1, x1 + w, y1 + h)
+}
+
+/// A clustered multi-component map: `clusters` spatially separated groups of
+/// `regions_per_cluster` pseudo-random rectangles each, deterministic in the
+/// seed.
+///
+/// Clusters are laid out on a coarse grid ([`cluster_origin`]) with gaps
+/// several times the cluster span, so clusters never interact and the
+/// interaction-graph partition of `arrangement` yields at least one
+/// component per cluster (a sparse cluster may split into a few); within a
+/// cluster the rectangles are drawn from a tight span so that most of them
+/// genuinely interact. This is the workload of the incremental-maintenance
+/// test suite and of the `incremental_update` benchmark group: region
+/// `C{c:03}_R{r:03}` belongs to cluster `c`, so updates can target a single
+/// cluster by construction ([`cluster_rect`]).
+pub fn clustered_map(clusters: usize, regions_per_cluster: usize, seed: u64) -> SpatialInstance {
+    assert!(clusters > 0 && regions_per_cluster > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = SpatialInstance::new();
+    for c in 0..clusters {
+        for r in 0..regions_per_cluster {
+            inst.insert(format!("C{c:03}_R{r:03}"), cluster_rect(&mut rng, c, clusters));
+        }
+    }
+    inst
+}
+
 /// The instance-size sweep used by the scaling benchmarks: grid maps with
 /// roughly `n` regions.
 pub fn scaling_sweep(sizes: &[usize]) -> Vec<(usize, SpatialInstance)> {
@@ -202,6 +254,27 @@ mod tests {
         }
         // Different seeds give different cyclic orders (almost surely).
         assert_ne!(flower(6, 7), flower(6, 8));
+    }
+
+    #[test]
+    fn clustered_map_is_deterministic_and_separated() {
+        let a = clustered_map(4, 3, 11);
+        let b = clustered_map(4, 3, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, clustered_map(4, 3, 12));
+        assert_eq!(a.len(), 12);
+        // Names encode the cluster, and clusters never overlap: all of
+        // cluster 0 stays inside [0, 100) x [0, 100), cluster 1 starts at
+        // x = 100.
+        for (name, region) in a.iter() {
+            let (x0, _, x1, _) = region.bounding_box();
+            if name.starts_with("C000_") {
+                assert!(x1 < Rational::from_int(100), "{name} leaks out of cluster 0");
+            }
+            if name.starts_with("C001_") {
+                assert!(x0 >= Rational::from_int(100), "{name} leaks into cluster 0");
+            }
+        }
     }
 
     #[test]

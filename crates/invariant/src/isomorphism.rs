@@ -345,7 +345,7 @@ fn search(
 fn finalize(a: &Invariant, b: &Invariant, opts: IsoOptions, state: &State) -> Option<Isomorphism> {
     // Every vertex and face must have been forced (they are all incident to
     // at least one edge when edges exist).
-    if state.vmap.iter().any(|&v| v == usize::MAX) || state.fmap.iter().any(|&f| f == usize::MAX) {
+    if state.vmap.contains(&usize::MAX) || state.fmap.contains(&usize::MAX) {
         return None;
     }
     // Exterior face.

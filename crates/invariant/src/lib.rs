@@ -14,6 +14,7 @@
 //!   structure is the invariant of some instance (labeled planar graphs).
 //! * [`thematic`] — Example 3.6 / Corollary 3.7: storing the invariant as a
 //!   classical relational database over the fixed schema `Th`.
+//!
 //! Theorem 3.5's *representation* statement — every (semi-algebraic)
 //! instance has a polygonal representative with the same invariant — is
 //! reflected in this reproduction by working with polygonal regions

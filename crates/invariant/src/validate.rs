@@ -125,7 +125,7 @@ fn check_labels(inv: &Invariant, errors: &mut Vec<ValidationError>) {
         if l.len() != k {
             errors.push(ValidationError::BadLabel(format!("face {f} label arity")));
         }
-        if l.iter().any(|&s| s == Sign::Boundary) {
+        if l.contains(&Sign::Boundary) {
             errors.push(ValidationError::BadLabel(format!(
                 "face {f} is labeled as lying on a region boundary"
             )));
@@ -161,7 +161,7 @@ fn check_labels(inv: &Invariant, errors: &mut Vec<ValidationError>) {
             }
         }
         // At least one region's boundary passes through every edge.
-        if !inv.edge_label(e).iter().any(|&s| s == Sign::Boundary) {
+        if !inv.edge_label(e).contains(&Sign::Boundary) {
             errors.push(ValidationError::BadLabel(format!(
                 "edge {e} lies on no region boundary"
             )));

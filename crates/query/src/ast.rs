@@ -73,7 +73,9 @@ pub enum Formula {
 }
 
 impl Formula {
-    /// Negation.
+    /// Negation. (A by-value constructor, intentionally not the `Not`
+    /// operator trait.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }

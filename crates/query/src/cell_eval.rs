@@ -33,7 +33,12 @@ pub enum EvalError {
     UnboundVariable(String),
     /// The quantifier domain (all disc-like cell unions) exceeded the
     /// configured cap.
-    DomainTooLarge { regions_found: usize, cap: usize },
+    DomainTooLarge {
+        /// Number of candidate regions enumerated before giving up.
+        regions_found: usize,
+        /// The configured domain cap.
+        cap: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -58,8 +63,6 @@ pub struct CellEvaluator {
     exterior: usize,
     /// For every face, the faces sharing an edge with it (dual graph).
     dual: Vec<BTreeSet<usize>>,
-    /// For every face, its boundary edges.
-    face_edges: Vec<BTreeSet<usize>>,
     /// For every edge, its two incident faces.
     edge_faces: Vec<(usize, usize)>,
     /// For every edge, its endpoint vertices.
@@ -86,7 +89,6 @@ impl CellEvaluator {
         let face_count = complex.face_count();
         let exterior = complex.exterior_face().0;
         let mut dual = vec![BTreeSet::new(); face_count];
-        let mut face_edges = vec![BTreeSet::new(); face_count];
         let mut edge_faces = Vec::with_capacity(complex.edge_count());
         let mut edge_vertices = Vec::with_capacity(complex.edge_count());
         for e in complex.edge_ids() {
@@ -97,11 +99,6 @@ impl CellEvaluator {
             if l != r {
                 dual[l.0].insert(r.0);
                 dual[r.0].insert(l.0);
-            }
-        }
-        for f in complex.face_ids() {
-            for &e in complex.face_edges(f) {
-                face_edges[f.0].insert(e.0);
             }
         }
         let mut vertex_faces = vec![BTreeSet::new(); complex.vertex_count()];
@@ -123,7 +120,6 @@ impl CellEvaluator {
             face_count,
             exterior,
             dual,
-            face_edges,
             edge_faces,
             edge_vertices,
             vertex_faces,
@@ -661,7 +657,8 @@ mod tests {
         // the rewriting.
         for (name, inst) in fixtures::fig_2_pairs() {
             let expected = relations::Relation4::from_name(name).unwrap();
-            for r in [Disjoint] {
+            {
+                let r = Disjoint;
                 let q = F::rel(r, R::named("A"), R::named("B"));
                 let desugared = q.desugar();
                 assert_eq!(

@@ -53,7 +53,9 @@ pub enum Ordering2 {
 }
 
 impl PointFormula {
-    /// Negation.
+    /// Negation. (A by-value constructor, intentionally not the `Not`
+    /// operator trait.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: PointFormula) -> PointFormula {
         PointFormula::Not(Box::new(f))
     }

@@ -311,6 +311,9 @@ impl fmt::Display for Database {
 }
 
 #[cfg(test)]
+// `tuple!` expands to `vec![..]`; passing its result to the `&[Value]`
+// methods is the intended test idiom even where an array literal would do.
+#[allow(clippy::useless_vec)]
 mod tests {
     use super::*;
     use crate::tuple;

@@ -62,7 +62,9 @@ impl Formula {
         Formula::Equals(a, b)
     }
 
-    /// Negation.
+    /// Negation. (A by-value constructor, intentionally not the `Not`
+    /// operator trait.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -101,7 +103,7 @@ impl Formula {
     }
 
     fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
-        let mut add = |name: &String, bound: &Vec<String>, out: &mut Vec<String>| {
+        let add = |name: &String, bound: &Vec<String>, out: &mut Vec<String>| {
             if !bound.contains(name) && !out.contains(name) {
                 out.push(name.clone());
             }

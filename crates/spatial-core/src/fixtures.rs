@@ -212,7 +212,7 @@ pub fn petals(order: [&str; 4]) -> SpatialInstance {
     let south = Region::polygon_from_ints(&[(0, 0), (2, -8), (-2, -8)]).expect("south petal");
     let slots = [east, north, west, south];
     SpatialInstance::from_regions(
-        order.iter().zip(slots.into_iter()).map(|(name, region)| (name.to_string(), region)),
+        order.iter().zip(slots).map(|(name, region)| (name.to_string(), region)),
     )
 }
 

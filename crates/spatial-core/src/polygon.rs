@@ -286,9 +286,10 @@ fn point_in_triangle(p: &Point, a: &Point, b: &Point, c: &Point) -> bool {
     let d1 = orient(a, b, p);
     let d2 = orient(b, c, p);
     let d3 = orient(c, a, p);
-    let has_cw = [d1, d2, d3].iter().any(|&o| o == Orientation::Clockwise);
-    let has_ccw = [d1, d2, d3].iter().any(|&o| o == Orientation::CounterClockwise);
-    !(has_cw && has_ccw) && !([d1, d2, d3].iter().all(|&o| o == Orientation::Collinear))
+    let has_cw = [d1, d2, d3].contains(&Orientation::Clockwise);
+    let has_ccw = [d1, d2, d3].contains(&Orientation::CounterClockwise);
+    let all_collinear = [d1, d2, d3].iter().all(|&o| o == Orientation::Collinear);
+    !(all_collinear || (has_cw && has_ccw))
 }
 
 impl fmt::Debug for Polygon {

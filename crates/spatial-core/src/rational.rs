@@ -224,7 +224,7 @@ impl From<i32> for Rational {
 
 impl PartialOrd for Rational {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_impl(other))
+        Some(self.cmp(other))
     }
 }
 

@@ -1,0 +1,175 @@
+//! Differential tests for incremental arrangement maintenance: after every
+//! step of a randomized insert/remove schedule on a clustered instance, the
+//! incrementally maintained complex and invariant of a long-lived
+//! [`TopoDatabase`] must be equal (up to cell re-indexing) to a from-scratch
+//! rebuild of the same instance — checked via cell counts, label multisets
+//! and [`invariant::isomorphic`].
+//!
+//! A second suite pins the locality guarantee itself: on a multi-cluster
+//! map, an update touching one cluster re-sweeps only the affected
+//! component(s) while every untouched `Arc<ComponentComplex>` is reused
+//! pointer-identically.
+
+use datagen::cluster_rect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use topodb::arrangement::Label;
+use topodb::spatial_core::prelude::*;
+use topodb::TopoDatabase;
+
+/// Sorted label multisets of all cells — a re-indexing-invariant summary.
+fn label_multisets(db: &TopoDatabase) -> (Vec<Label>, Vec<Label>, Vec<Label>) {
+    let c = db.cell_complex();
+    let mut v: Vec<Label> = c.vertex_ids().map(|x| c.vertex(x).label.clone()).collect();
+    let mut e: Vec<Label> = c.edge_ids().map(|x| c.edge(x).label.clone()).collect();
+    let mut f: Vec<Label> = c.face_ids().map(|x| c.face(x).label.clone()).collect();
+    v.sort();
+    e.sort();
+    f.sort();
+    (v, e, f)
+}
+
+fn assert_equals_fresh_rebuild(db: &TopoDatabase, context: &str) {
+    let fresh = TopoDatabase::from_instance(db.instance().clone());
+    let (c, fc) = (db.cell_complex(), fresh.cell_complex());
+    assert_eq!(c.vertex_count(), fc.vertex_count(), "vertex count diverged {context}");
+    assert_eq!(c.edge_count(), fc.edge_count(), "edge count diverged {context}");
+    assert_eq!(c.face_count(), fc.face_count(), "face count diverged {context}");
+    assert!(c.euler_formula_holds(), "euler relation broken {context}");
+    assert_eq!(
+        label_multisets(db),
+        label_multisets(&fresh),
+        "cell label multisets diverged {context}"
+    );
+    assert!(
+        invariant::isomorphic(&db.invariant(), &fresh.invariant()),
+        "invariant not isomorphic to from-scratch rebuild {context}"
+    );
+}
+
+#[test]
+fn randomized_update_schedules_match_from_scratch_rebuilds() {
+    // 30 schedules x 5 steps = 150 update steps, each followed by a full
+    // differential comparison against a from-scratch rebuild.
+    let clusters = 4usize;
+    for schedule in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(9000 + schedule);
+        let mut db = TopoDatabase::from_instance(datagen::clustered_map(clusters, 3, schedule));
+        let mut extra = 0usize;
+        for step in 0..5 {
+            // Mix of operations: insert a fresh region, replace an existing
+            // one, or remove one — always targeting a random cluster.
+            let cluster = rng.gen_range(0..clusters);
+            let op = rng.gen_range(0..3u32);
+            let context = format!("(schedule {schedule}, step {step}, op {op})");
+            match op {
+                0 => {
+                    let region = cluster_rect(&mut rng, cluster, clusters);
+                    db.insert(format!("X{extra:03}"), region);
+                    extra += 1;
+                }
+                1 => {
+                    let names = db.names();
+                    let name = names[rng.gen_range(0..names.len())].clone();
+                    let region = cluster_rect(&mut rng, cluster, clusters);
+                    db.insert(name, region);
+                }
+                _ => {
+                    let names = db.names();
+                    if names.len() > 1 {
+                        let name = names[rng.gen_range(0..names.len())].clone();
+                        assert!(db.remove(&name).is_some(), "remove failed {context}");
+                    }
+                }
+            }
+            assert_equals_fresh_rebuild(&db, &context);
+        }
+    }
+}
+
+#[test]
+fn update_to_one_cluster_reuses_every_other_component() {
+    // The acceptance scenario: a 16-cluster map; an insert touching one
+    // cluster followed by a read re-sweeps only the affected component(s)
+    // while all untouched components are returned pointer-identically.
+    let clusters = 16usize;
+    let mut db = TopoDatabase::from_instance(datagen::clustered_map(clusters, 4, 42));
+    let before_components = db.component_complexes();
+    assert!(
+        before_components.len() >= clusters,
+        "each cluster contributes at least one component"
+    );
+    let builds_before = db.complex_build_count();
+    let rebuilds_before = db.component_rebuild_count();
+
+    // Insert a rectangle covering most of cluster 0's area.
+    let (ox, oy) = datagen::cluster_origin(0, clusters);
+    let span = datagen::CLUSTER_SPAN;
+    db.insert("Update", Region::rect_from_ints(ox + 2, oy + 2, ox + span - 4, oy + span - 4));
+    let _ = db.relation_matrix();
+
+    assert_eq!(db.complex_build_count(), builds_before + 1, "one re-assembly");
+    let rebuilt = db.component_rebuild_count() - rebuilds_before;
+    assert!(
+        (1..=2).contains(&rebuilt),
+        "only the affected component(s) may be re-swept, got {rebuilt}"
+    );
+
+    // Every component not involving cluster 0 must be the same allocation.
+    let after: std::collections::BTreeMap<Vec<String>, Arc<topodb::arrangement::ComponentComplex>> =
+        db.component_complexes().into_iter().collect();
+    let mut untouched = 0usize;
+    for (key, arc_before) in &before_components {
+        if key.iter().any(|n| n.starts_with("C000_")) {
+            continue; // cluster 0: allowed to be rebuilt
+        }
+        let arc_after = after.get(key).unwrap_or_else(|| {
+            panic!("component {key:?} disappeared though the update did not touch it")
+        });
+        assert!(
+            Arc::ptr_eq(arc_before, arc_after),
+            "component {key:?} was rebuilt though the update did not touch it"
+        );
+        untouched += 1;
+    }
+    assert!(untouched >= clusters - 1, "15 of 16 clusters stay cached");
+
+    // The complex still matches a from-scratch rebuild after the update.
+    assert_equals_fresh_rebuild(&db, "(acceptance scenario)");
+}
+
+#[test]
+fn removal_restores_pointer_reuse_and_correctness() {
+    let mut db = TopoDatabase::from_instance(datagen::clustered_map(9, 3, 7));
+    let _ = db.cell_complex();
+    let rebuilds_before = db.component_rebuild_count();
+
+    // Remove one region of cluster 4, read, and compare.
+    let victim = db
+        .names()
+        .iter()
+        .find(|n| n.starts_with("C004_"))
+        .expect("cluster 4 has regions")
+        .clone();
+    assert!(db.remove(&victim).is_some());
+    assert_equals_fresh_rebuild(&db, "(after removal)");
+    let rebuilt = db.component_rebuild_count() - rebuilds_before;
+    assert!(rebuilt <= 3, "a removal re-sweeps at most the split cluster, got {rebuilt}");
+    assert_eq!(db.update_epoch(), 1);
+}
+
+#[test]
+fn epoch_counter_tracks_updates() {
+    let mut db = TopoDatabase::new();
+    assert_eq!(db.update_epoch(), 0);
+    db.insert("A", Region::rect_from_ints(0, 0, 4, 4));
+    db.insert("B", Region::rect_from_ints(10, 0, 14, 4));
+    assert_eq!(db.update_epoch(), 2);
+    db.remove("A");
+    assert_eq!(db.update_epoch(), 3);
+    // Reads never advance the epoch.
+    let _ = db.cell_complex();
+    let _ = db.invariant();
+    assert_eq!(db.update_epoch(), 3);
+}

@@ -1,7 +1,17 @@
 #!/usr/bin/env bash
-# Run the arrangement-construction scaling benchmarks and write the results
-# to BENCH_arrangement.json at the repository root — the perf-trajectory
-# baseline for the splitting phase (Bentley–Ottmann sweep vs. naive oracle).
+# Tracked perf trajectory for the arrangement benchmarks.
+#
+# Runs the splitting-phase scaling group (`splitting_sweep_vs_naive`) and the
+# incremental-maintenance group (`incremental_update`), merges their
+# machine-readable records into one snapshot (default:
+# BENCH_arrangement.json at the repository root), and then compares the fresh
+# run against the previously committed snapshot:
+#
+#   * every benchmark present in both runs gets a printed delta;
+#   * a >25% slowdown in any `sweep/*` entry is a tracked regression and
+#     fails the script (exit non-zero);
+#   * the sweep must still beat the naive splitter, and the incremental
+#     update path must beat the full rebuild, at the largest sizes.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -20,19 +30,46 @@ case "${out}" in
     *) abs_out="$(pwd)/${out}" ;;
 esac
 
-echo "running splitting_sweep_vs_naive scaling group -> ${out}" >&2
-BENCH_JSON="${abs_out}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
+# Keep the committed snapshot around as the trajectory baseline.
+baseline=""
+if [ -s "${out}" ]; then
+    baseline="$(mktemp)"
+    cp "${out}" "${baseline}"
+fi
 
-# Sanity: the snapshot must exist, parse as a JSON array, and show the sweep
-# beating the naive splitter at the largest construction size.
+scaling_json="$(mktemp)"
+incremental_json="$(mktemp)"
+trap 'rm -f "${scaling_json}" "${incremental_json}" ${baseline:+"${baseline}"}' EXIT
+
+echo "running splitting_sweep_vs_naive scaling group" >&2
+BENCH_JSON="${scaling_json}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
+echo "running incremental_update group" >&2
+BENCH_JSON="${incremental_json}" cargo bench -p bench --bench incremental -- incremental_update
+
+# Merge the two JSON arrays (each file is one record per line between the
+# bracket lines, so a line-level merge is exact).
+{
+    echo "["
+    {
+        sed -e '1d' -e '$d' "${scaling_json}"
+        sed -e '1d' -e '$d' "${incremental_json}"
+    } | sed -e 's/},\{0,1\}$/},/' -e '$ s/},$/}/'
+    echo "]"
+} > "${abs_out}"
+
 if [ ! -s "${out}" ]; then
     echo "error: ${out} was not written" >&2
     exit 1
 fi
 
-largest=$(grep -o '"id": "[^"]*"' "${out}" | sed 's/.*naive\/grid\///; s/"//' | sort -n | tail -1)
-sweep_ns=$(grep "sweep/grid/${largest}\"" "${out}" | grep -o '"ns_per_iter": [0-9.]*' | grep -o '[0-9.]*$')
-naive_ns=$(grep "naive/grid/${largest}\"" "${out}" | grep -o '"ns_per_iter": [0-9.]*' | grep -o '[0-9.]*$')
+extract_ns() { # file id -> ns_per_iter (empty if absent)
+    grep -F "\"id\": \"$2\"" "$1" | grep -o '"ns_per_iter": [0-9.]*' | grep -o '[0-9.]*$' | head -1
+}
+
+# Sanity 1: the sweep beats the naive splitter at the largest grid size.
+largest=$({ grep -o '"id": "[^"]*"' "${out}" || true; } | sed -n 's/.*naive\/grid\///; s/"//p' | sort -n | tail -1)
+sweep_ns=$(extract_ns "${out}" "splitting_sweep_vs_naive/sweep/grid/${largest}")
+naive_ns=$(extract_ns "${out}" "splitting_sweep_vs_naive/naive/grid/${largest}")
 if [ -n "${sweep_ns}" ] && [ -n "${naive_ns}" ]; then
     faster=$(awk -v s="${sweep_ns}" -v n="${naive_ns}" 'BEGIN { print (s < n) ? "yes" : "no" }')
     echo "largest grid n=${largest}: sweep=${sweep_ns} ns, naive=${naive_ns} ns, sweep faster: ${faster}" >&2
@@ -40,6 +77,58 @@ if [ -n "${sweep_ns}" ] && [ -n "${naive_ns}" ]; then
         echo "error: sweep did not beat the naive splitter at n=${largest}" >&2
         exit 1
     fi
+fi
+
+# Sanity 2: incremental update -> read beats the full rebuild at the largest
+# clustered size.
+largest_inc=$({ grep -o '"id": "incremental_update/incremental/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_inc}" ]; then
+    inc_ns=$(extract_ns "${out}" "incremental_update/incremental/${largest_inc}")
+    full_ns=$(extract_ns "${out}" "incremental_update/full_rebuild/${largest_inc}")
+    speedup=$(awk -v i="${inc_ns}" -v f="${full_ns}" 'BEGIN { printf "%.2f", f / i }')
+    echo "incremental update at n=${largest_inc}: ${inc_ns} ns vs full rebuild ${full_ns} ns (${speedup}x)" >&2
+    if [ "$(awk -v i="${inc_ns}" -v f="${full_ns}" 'BEGIN { print (i < f) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: incremental update did not beat the full rebuild at n=${largest_inc}" >&2
+        exit 1
+    fi
+fi
+
+# Perf trajectory: per-benchmark deltas against the committed snapshot; a
+# >25% slowdown in any sweep/* entry fails.
+if [ -n "${baseline}" ]; then
+    echo "--- perf trajectory vs committed snapshot ---" >&2
+    awk '
+        function parse_line(line,   id, ns) {
+            if (match(line, /"id": "[^"]*"/)) {
+                id = substr(line, RSTART + 7, RLENGTH - 8)
+                if (match(line, /"ns_per_iter": [0-9.]*/)) {
+                    ns = substr(line, RSTART + 15, RLENGTH - 15)
+                    return id SUBSEP ns
+                }
+            }
+            return ""
+        }
+        NR == FNR { r = parse_line($0); if (r != "") { split(r, a, SUBSEP); old[a[1]] = a[2] } next }
+        { r = parse_line($0); if (r != "") { split(r, a, SUBSEP); new[a[1]] = a[2]; order[++n] = a[1] } }
+        END {
+            regressions = 0
+            for (i = 1; i <= n; i++) {
+                id = order[i]
+                if (!(id in old)) { printf "  %-55s %14.1f ns  (new)\n", id, new[id]; continue }
+                delta = (new[id] - old[id]) / old[id] * 100
+                flag = ""
+                if (index(id, "/sweep/") > 0 && delta > 25) { flag = "  REGRESSION"; regressions++ }
+                printf "  %-55s %14.1f ns  (%+.1f%%)%s\n", id, new[id], delta, flag
+            }
+            if (regressions > 0) {
+                printf "error: %d sweep/* benchmark(s) regressed by more than 25%%\n", regressions
+                exit 1
+            }
+        }
+    ' "${baseline}" "${out}" >&2
+else
+    echo "no committed snapshot found; skipping trajectory comparison" >&2
 fi
 
 echo "wrote ${out}" >&2

@@ -202,7 +202,7 @@ fn e11_theorem_3_8_validation() {
     }
     // Corruption: claim a region's face is exterior to it (breaks label
     // consistency and possibly region connectivity).
-    let mut broken = Invariant::of_instance(&fixtures::fig_1a());
+    let broken = Invariant::of_instance(&fixtures::fig_1a());
     let f = broken.region_faces("A")[0];
     // Reuse the public API only: re-designating an interior face as exterior
     // face is enough to violate validity.
