@@ -23,6 +23,14 @@
 //! A [`ComponentComplex`] is immutable and shared behind an
 //! [`Arc`](std::sync::Arc) by the component cache in `topodb`: re-assembling
 //! after a localized update reuses every untouched component unchanged.
+//!
+//! [`assemble_components`] is the *copying* assembly: it materializes a flat
+//! [`CellComplex`] in `O(total cells)`. Its zero-copy, index-identical
+//! counterpart is [`GlobalComplexView`](crate::GlobalComplexView), which
+//! performs steps 1–3 symbolically in `O(components + nesting)` and serves
+//! cells through the [`ComplexRead`](crate::ComplexRead) translation layer;
+//! both build on the same nesting computation
+//! ([`compute_component_nesting`]).
 
 use crate::builder::build_local;
 use crate::complex::CellComplex;
@@ -50,10 +58,10 @@ pub struct BoundedCycle {
 /// the global complex.
 #[derive(Clone, Debug)]
 pub struct ComponentComplex {
-    complex: CellComplex,
-    bounded_cycles: Vec<BoundedCycle>,
-    bbox: Option<BBox>,
-    rep_point: Option<Point>,
+    pub(crate) complex: CellComplex,
+    pub(crate) bounded_cycles: Vec<BoundedCycle>,
+    pub(crate) bbox: Option<BBox>,
+    pub(crate) rep_point: Option<Point>,
 }
 
 impl ComponentComplex {
@@ -112,12 +120,77 @@ pub fn build_group_component(
 
 /// Overwrite the positions of a component's own regions in an inherited
 /// parent label.
-fn widen_label(parent: &Label, local: &Label, region_map: &[usize]) -> Label {
+pub(crate) fn widen_label(parent: &Label, local: &Label, region_map: &[usize]) -> Label {
     let mut out = parent.clone();
     for (li, &gi) in region_map.iter().enumerate() {
         out[gi] = local[li];
     }
     out
+}
+
+/// Cross-component nesting: for every component, `Some((parent component,
+/// parent *local* face))` if the component sits strictly inside a bounded
+/// face of another component, `None` if it is a root (sits in the global
+/// exterior face).
+///
+/// The parent is found as the innermost bounded cycle of any *other*
+/// component containing the component's representative point. Cycles of
+/// distinct components never cross (partitioning keeps their geometry
+/// disjoint), so the containing cycles form a laminar family and the
+/// innermost one is the face the component sits in.
+///
+/// This computation is shared between the copying assembly
+/// ([`assemble_components`]) and the zero-copy
+/// [`GlobalComplexView`](crate::GlobalComplexView) so the two resolve
+/// nesting identically.
+pub(crate) fn compute_component_nesting(
+    components: &[Arc<ComponentComplex>],
+) -> Vec<Option<(usize, FaceId)>> {
+    let k = components.len();
+    let mut parents: Vec<Option<(usize, FaceId)>> = vec![None; k];
+    for (c, parent) in parents.iter_mut().enumerate() {
+        let Some(rep) = components[c].rep_point else { continue };
+        let mut best: Option<(Rational, usize, FaceId)> = None;
+        for (d, comp) in components.iter().enumerate() {
+            if d == c || !comp.bbox.as_ref().is_some_and(|b| b.contains_point(&rep)) {
+                continue;
+            }
+            for cyc in &comp.bounded_cycles {
+                if point_in_closed_polyline(&rep, &cyc.polyline) {
+                    let area = cyc.area2.abs();
+                    if best.as_ref().is_none_or(|(a, _, _)| area < *a) {
+                        best = Some((area, d, cyc.face));
+                    }
+                }
+            }
+        }
+        if let Some((_, d, f)) = best {
+            *parent = Some((d, f));
+        }
+    }
+    parents
+}
+
+/// A parents-before-children order of the nesting forest returned by
+/// [`compute_component_nesting`].
+pub(crate) fn nesting_topo_order(parents: &[Option<(usize, FaceId)>]) -> Vec<usize> {
+    let k = parents.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut topo: Vec<usize> = Vec::with_capacity(k);
+    for (c, parent) in parents.iter().enumerate() {
+        match parent {
+            Some((d, _)) => children[*d].push(c),
+            None => topo.push(c),
+        }
+    }
+    let mut i = 0;
+    while i < topo.len() {
+        let d = topo[i];
+        topo.extend(children[d].iter().copied());
+        i += 1;
+    }
+    debug_assert_eq!(topo.len(), k, "nesting forest must cover all components");
+    topo
 }
 
 /// Stitch component complexes into the global cell complex of the instance
@@ -189,56 +262,23 @@ pub fn assemble_components(
         }
     }
 
-    // Nesting: the parent of a component is the innermost bounded cycle of
-    // any *other* component containing its representative point. Cycles of
-    // distinct components never cross (partitioning keeps their geometry
-    // disjoint), so the containing cycles form a laminar family and the
-    // innermost one is the face the component sits in.
-    let mut parent_comp: Vec<Option<usize>> = vec![None; k];
-    let mut parent_face: Vec<FaceId> = vec![exterior; k]; // global id
-    for c in 0..k {
-        let Some(rep) = components[c].rep_point else { continue };
-        let mut best: Option<(Rational, usize, FaceId)> = None;
-        for (d, comp) in components.iter().enumerate() {
-            if d == c || !comp.bbox.as_ref().is_some_and(|b| b.contains_point(&rep)) {
-                continue;
-            }
-            for cyc in &comp.bounded_cycles {
-                if point_in_closed_polyline(&rep, &cyc.polyline) {
-                    let area = cyc.area2.abs();
-                    if best.as_ref().is_none_or(|(a, _, _)| area < *a) {
-                        best = Some((area, d, cyc.face));
-                    }
-                }
-            }
-        }
-        if let Some((_, d, f)) = best {
-            parent_comp[c] = Some(d);
-            parent_face[c] = face_map[d][f.0];
-        }
-    }
+    // Cross-component nesting (shared with the zero-copy view) and the
+    // parents-before-children resolution order.
+    let parents = compute_component_nesting(components);
+    let parent_comp: Vec<Option<usize>> = parents.iter().map(|p| p.map(|(d, _)| d)).collect();
+    let parent_face: Vec<FaceId> = parents
+        .iter()
+        .map(|p| match p {
+            Some((d, f)) => face_map[*d][f.0],
+            None => exterior,
+        })
+        .collect();
     // A nested component's local exterior face *is* its parent face.
     for c in 0..k {
         let local_ext = components[c].complex.exterior;
         face_map[c][local_ext.0] = parent_face[c];
     }
-
-    // Resolve labels parents-before-children over the nesting forest.
-    let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
-    let mut topo: Vec<usize> = Vec::with_capacity(k);
-    for (c, parent) in parent_comp.iter().enumerate() {
-        match parent {
-            Some(d) => children[*d].push(c),
-            None => topo.push(c),
-        }
-    }
-    let mut i = 0;
-    while i < topo.len() {
-        let d = topo[i];
-        topo.extend(children[d].iter().copied());
-        i += 1;
-    }
-    debug_assert_eq!(topo.len(), k, "nesting forest must cover all components");
+    let topo = nesting_topo_order(&parents);
 
     // Global faces: start with the exterior, then translate every bounded
     // local face; nested components extend their parent face's boundary with

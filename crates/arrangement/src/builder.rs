@@ -23,27 +23,52 @@
 //! construction as a differential-testing oracle: both paths must produce
 //! isomorphic complexes on every input.
 
-use crate::assemble::{assemble_components, build_group_component, BoundedCycle};
+use crate::assemble::{assemble_components, build_group_component, BoundedCycle, ComponentComplex};
 use crate::complex::CellComplex;
 use crate::geometry::{closed_polyline_area_doubled, interior_point_of_simple_cycle, point_in_closed_polyline};
+use crate::parallel::{configured_threads, map_indexed};
 use crate::partition::partition_instance;
 use crate::split::{instance_segments, split_segments, SubSegment};
 use crate::types::*;
+use crate::view::GlobalComplexView;
 use spatial_core::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Build the maximal labeled cell complex of a spatial instance by the
-/// partition → per-component sweep → assemble pipeline.
+/// partition → parallel per-component sweep → assemble pipeline.
 ///
+/// Independent components are swept concurrently (thread count from
+/// `ARRANGEMENT_THREADS`, default = available parallelism; see
+/// [`crate::parallel`]); the output is identical for every thread count.
 /// The complex of the empty instance consists of the single unbounded face.
 pub fn build_complex(instance: &SpatialInstance) -> CellComplex {
     let region_names: Vec<String> = instance.names().iter().map(|s| s.to_string()).collect();
-    let components: Vec<Arc<crate::assemble::ComponentComplex>> = partition_instance(instance)
-        .iter()
-        .map(|group| Arc::new(build_group_component(instance, group)))
-        .collect();
+    let components = build_component_complexes(instance, configured_threads());
     assemble_components(region_names, &components)
+}
+
+/// Build the zero-copy [`GlobalComplexView`] of a spatial instance by the
+/// same partition → parallel per-component sweep pipeline as
+/// [`build_complex`], assembling by view instead of by copy.
+pub fn build_complex_view(instance: &SpatialInstance) -> GlobalComplexView {
+    let region_names: Vec<String> = instance.names().iter().map(|s| s.to_string()).collect();
+    let components = build_component_complexes(instance, configured_threads());
+    GlobalComplexView::new(region_names, components)
+}
+
+/// Partition an instance and sweep every interaction component, using up to
+/// `threads` worker threads ([`crate::parallel::map_indexed`]). Components
+/// are returned in partition order regardless of the thread count, so both
+/// assembly paths produce identical output for every `threads` value.
+pub fn build_component_complexes(
+    instance: &SpatialInstance,
+    threads: usize,
+) -> Vec<Arc<ComponentComplex>> {
+    let groups = partition_instance(instance);
+    map_indexed(groups.len(), threads, |i| {
+        Arc::new(build_group_component(instance, &groups[i]))
+    })
 }
 
 /// The pre-partitioning construction: one plane sweep over the whole
@@ -97,10 +122,10 @@ pub(crate) fn build_local(
     let walks = face_walks(&merged, &rotations);
 
     // ---- Components and embedding forest ---------------------------------
-    let assembled = assemble_faces(&merged, &walks);
+    let mut assembled = assemble_faces(&merged, &walks);
 
     // ---- Labels -----------------------------------------------------------
-    let cycles = assembled.bounded_cycles.clone();
+    let cycles = std::mem::take(&mut assembled.bounded_cycles);
     (finish_complex(region_names, merged, rotations, assembled), cycles)
 }
 

@@ -18,7 +18,391 @@
 //! therefore does not affect invariant comparisons (see `DESIGN.md`).
 
 use crate::types::*;
+use spatial_core::prelude::Point;
 use std::collections::BTreeSet;
+
+/// Read access to a (possibly virtual) planar cell complex.
+///
+/// This trait is the accessor surface of [`CellComplex`], extracted so that
+/// every derived-structure computation — invariant extraction, 4-relation
+/// classification, cell-level query evaluation — can run unchanged on either
+/// representation of the global complex:
+///
+/// * the flat [`CellComplex`] produced by copying assembly
+///   ([`crate::assemble_components`]), and
+/// * the zero-copy [`GlobalComplexView`](crate::GlobalComplexView), which
+///   serves the same cells directly out of shared per-component
+///   sub-complexes through an id-translation table.
+///
+/// The two representations are *index-identical*: a given cell has the same
+/// id, the same label and the same incidences through either. Methods that
+/// must translate component-local data (labels widened to the global region
+/// set, darts shifted into the global id space) return owned values; purely
+/// geometric data ([`ComplexRead::edge_polyline`]) is borrowed.
+pub trait ComplexRead {
+    /// The region names, in the canonical (sorted) order used by all labels.
+    fn region_names(&self) -> &[String];
+
+    /// Number of vertices (0-cells).
+    fn vertex_count(&self) -> usize;
+
+    /// Number of edges (1-cells).
+    fn edge_count(&self) -> usize;
+
+    /// Number of faces (2-cells), including the exterior face.
+    fn face_count(&self) -> usize;
+
+    /// The designated exterior (unbounded) face `f0`.
+    fn exterior_face(&self) -> FaceId;
+
+    /// The geometric position of a vertex.
+    fn vertex_point(&self, v: VertexId) -> Point;
+
+    /// The full sign label of a vertex (one [`Sign`] per region).
+    fn vertex_label(&self, v: VertexId) -> Label;
+
+    /// The outgoing darts of a vertex in counter-clockwise order.
+    fn vertex_rotation(&self, v: VertexId) -> Vec<DartId>;
+
+    /// The (tail, head) vertices of an edge (equal for a loop).
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId);
+
+    /// The polyline realizing an edge, from tail to head.
+    fn edge_polyline(&self, e: EdgeId) -> &[Point];
+
+    /// The full sign label of an edge.
+    fn edge_label(&self, e: EdgeId) -> Label;
+
+    /// Indices (into [`ComplexRead::region_names`]) of the regions whose
+    /// boundary contains the edge.
+    fn edge_region_marks(&self, e: EdgeId) -> Vec<usize>;
+
+    /// The two faces incident to an edge (left of the forward dart, left of
+    /// the backward dart). They may coincide.
+    fn edge_faces(&self, e: EdgeId) -> (FaceId, FaceId);
+
+    /// The full sign label of a face.
+    fn face_label(&self, f: FaceId) -> Label;
+
+    /// All edges on the face's boundary, including the outer boundaries of
+    /// components embedded inside the face (sorted, deduplicated).
+    fn face_boundary(&self, f: FaceId) -> Vec<EdgeId>;
+
+    /// Is this the unbounded (exterior) face `f0`?
+    fn face_is_exterior(&self, f: FaceId) -> bool;
+
+    /// An interior sample point of the face (absent for the exterior face).
+    fn face_sample(&self, f: FaceId) -> Option<Point>;
+
+    // ---- sign fast paths (override to avoid whole-label materialization) --
+
+    /// The sign of a vertex with respect to one region index.
+    fn vertex_sign(&self, v: VertexId, region: usize) -> Sign {
+        self.vertex_label(v)[region]
+    }
+
+    /// The sign of an edge with respect to one region index.
+    fn edge_sign(&self, e: EdgeId, region: usize) -> Sign {
+        self.edge_label(e)[region]
+    }
+
+    /// The sign of a face with respect to one region index.
+    fn face_sign(&self, f: FaceId, region: usize) -> Sign {
+        self.face_label(f)[region]
+    }
+
+    // ---- derived accessors ------------------------------------------------
+
+    /// The index of a region name in the label order.
+    fn region_index(&self, name: &str) -> Option<usize> {
+        self.region_names().iter().position(|n| n == name)
+    }
+
+    /// All vertex ids.
+    fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertex_count()).map(VertexId)
+    }
+
+    /// All edge ids.
+    fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edge_count()).map(EdgeId)
+    }
+
+    /// All face ids.
+    fn face_ids(&self) -> impl Iterator<Item = FaceId> {
+        (0..self.face_count()).map(FaceId)
+    }
+
+    /// The full sign label of any cell.
+    fn cell_label(&self, cell: CellId) -> Label {
+        match cell {
+            CellId::Vertex(v) => self.vertex_label(v),
+            CellId::Edge(e) => self.edge_label(e),
+            CellId::Face(f) => self.face_label(f),
+        }
+    }
+
+    /// The sign of a cell with respect to a region given by name.
+    fn sign_of(&self, cell: CellId, region: &str) -> Option<Sign> {
+        let idx = self.region_index(region)?;
+        Some(match cell {
+            CellId::Vertex(v) => self.vertex_sign(v, idx),
+            CellId::Edge(e) => self.edge_sign(e, idx),
+            CellId::Face(f) => self.face_sign(f, idx),
+        })
+    }
+
+    /// The tail vertex of a dart.
+    fn dart_tail(&self, d: DartId) -> VertexId {
+        let (t, h) = self.edge_endpoints(d.edge());
+        if d.is_forward() {
+            t
+        } else {
+            h
+        }
+    }
+
+    /// The head vertex of a dart.
+    fn dart_head(&self, d: DartId) -> VertexId {
+        self.dart_tail(d.twin())
+    }
+
+    /// The face to the left of a dart.
+    fn dart_face(&self, d: DartId) -> FaceId {
+        let (l, r) = self.edge_faces(d.edge());
+        if d.is_forward() {
+            l
+        } else {
+            r
+        }
+    }
+
+    /// The edges incident to a vertex (each loop appears once).
+    fn vertex_edges(&self, v: VertexId) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> =
+            self.vertex_rotation(v).iter().map(|d| d.edge()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The faces incident to a vertex.
+    fn vertex_faces(&self, v: VertexId) -> Vec<FaceId> {
+        let mut out: Vec<FaceId> =
+            self.vertex_rotation(v).iter().map(|d| self.dart_face(*d)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The faces making up a region (the cells labeled `Interior` for it).
+    fn region_faces(&self, region: &str) -> Vec<FaceId> {
+        match self.region_index(region) {
+            None => vec![],
+            Some(idx) => self
+                .face_ids()
+                .filter(|&f| self.face_sign(f, idx) == Sign::Interior)
+                .collect(),
+        }
+    }
+
+    /// All darts whose left face is `f` (the face's boundary walk(s)).
+    fn face_darts(&self, f: FaceId) -> Vec<DartId> {
+        let mut out = Vec::new();
+        for e in self.edge_ids() {
+            let (l, r) = self.edge_faces(e);
+            if l == f {
+                out.push(DartId::forward(e));
+            }
+            if r == f {
+                out.push(DartId::backward(e));
+            }
+        }
+        out
+    }
+
+    /// Number of connected components of the skeleton (union of vertices and
+    /// edges).
+    fn skeleton_component_count(&self) -> usize {
+        let n = self.vertex_count();
+        if n == 0 {
+            return 0;
+        }
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                for d in self.vertex_rotation(VertexId(v)) {
+                    let w = self.dart_head(d).0;
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Is the skeleton connected? (The paper's notion of a *connected*
+    /// instance.)
+    fn is_connected(&self) -> bool {
+        self.skeleton_component_count() <= 1
+    }
+
+    /// Is the instance *simple* in the paper's sense: is the boundary walk of
+    /// every face a simple closed curve?
+    fn is_simple(&self) -> bool {
+        if !self.is_connected() {
+            return false;
+        }
+        for f in self.face_ids() {
+            let darts = self.face_darts(f);
+            let vertices: Vec<VertexId> = darts.iter().map(|d| self.dart_tail(*d)).collect();
+            let distinct: BTreeSet<VertexId> = vertices.iter().copied().collect();
+            if distinct.len() != vertices.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Check the Euler relation `|F| = |E| - |V| + 1 + C` where `C` is the
+    /// number of skeleton components.
+    fn euler_formula_holds(&self) -> bool {
+        let c = self.skeleton_component_count();
+        if c == 0 {
+            return self.face_count() == 1;
+        }
+        self.face_count() == self.edge_count() + 1 + c - self.vertex_count()
+    }
+
+    /// The paper's orientation relation `O`: for every vertex, the pairs of
+    /// consecutive incident edges in clockwise (`true`) and counter-clockwise
+    /// (`false`) order.
+    fn orientation_relation(&self) -> Vec<(bool, VertexId, EdgeId, EdgeId)> {
+        let mut out = Vec::new();
+        for v in self.vertex_ids() {
+            let rot = self.vertex_rotation(v);
+            let k = rot.len();
+            if k == 0 {
+                continue;
+            }
+            for i in 0..k {
+                let e1 = rot[i].edge();
+                let e2 = rot[(i + 1) % k].edge();
+                out.push((false, v, e1, e2));
+                out.push((true, v, e2, e1));
+            }
+        }
+        out
+    }
+
+    /// Human-readable summary of the complex.
+    fn summary(&self) -> String {
+        format!(
+            "cell complex: {} vertices, {} edges, {} faces ({} region(s), exterior = f{})",
+            self.vertex_count(),
+            self.edge_count(),
+            self.face_count(),
+            self.region_names().len(),
+            self.exterior_face().0
+        )
+    }
+}
+
+impl ComplexRead for CellComplex {
+    fn region_names(&self) -> &[String] {
+        &self.region_names
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    fn exterior_face(&self) -> FaceId {
+        self.exterior
+    }
+
+    fn vertex_point(&self, v: VertexId) -> Point {
+        self.vertices[v.0].point
+    }
+
+    fn vertex_label(&self, v: VertexId) -> Label {
+        self.vertices[v.0].label.clone()
+    }
+
+    fn vertex_rotation(&self, v: VertexId) -> Vec<DartId> {
+        self.vertices[v.0].rotation.clone()
+    }
+
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let d = &self.edges[e.0];
+        (d.tail, d.head)
+    }
+
+    fn edge_polyline(&self, e: EdgeId) -> &[Point] {
+        &self.edges[e.0].polyline
+    }
+
+    fn edge_label(&self, e: EdgeId) -> Label {
+        self.edges[e.0].label.clone()
+    }
+
+    fn edge_region_marks(&self, e: EdgeId) -> Vec<usize> {
+        self.edges[e.0].on_boundary_of.clone()
+    }
+
+    fn edge_faces(&self, e: EdgeId) -> (FaceId, FaceId) {
+        (self.edges[e.0].left_face, self.edges[e.0].right_face)
+    }
+
+    fn face_label(&self, f: FaceId) -> Label {
+        self.faces[f.0].label.clone()
+    }
+
+    fn face_boundary(&self, f: FaceId) -> Vec<EdgeId> {
+        self.faces[f.0].boundary_edges.clone()
+    }
+
+    fn face_is_exterior(&self, f: FaceId) -> bool {
+        self.faces[f.0].is_exterior
+    }
+
+    fn face_sample(&self, f: FaceId) -> Option<Point> {
+        self.faces[f.0].sample_point
+    }
+
+    fn vertex_sign(&self, v: VertexId, region: usize) -> Sign {
+        self.vertices[v.0].label[region]
+    }
+
+    fn edge_sign(&self, e: EdgeId, region: usize) -> Sign {
+        self.edges[e.0].label[region]
+    }
+
+    fn face_sign(&self, f: FaceId, region: usize) -> Sign {
+        self.faces[f.0].label[region]
+    }
+
+    fn skeleton_component_count(&self) -> usize {
+        CellComplex::skeleton_component_count(self)
+    }
+}
 
 /// The planar cell complex of a spatial database instance.
 #[derive(Clone, Debug)]
@@ -102,8 +486,7 @@ impl CellComplex {
 
     /// The sign of a cell with respect to a region given by name.
     pub fn sign_of(&self, cell: CellId, region: &str) -> Option<Sign> {
-        let idx = self.region_index(region)?;
-        Some(self.label(cell)[idx])
+        ComplexRead::sign_of(self, cell, region)
     }
 
     /// The tail vertex of a dart.
@@ -138,20 +521,12 @@ impl CellComplex {
 
     /// The edges incident to a vertex (each loop appears once).
     pub fn vertex_edges(&self, v: VertexId) -> Vec<EdgeId> {
-        let mut out: Vec<EdgeId> =
-            self.vertices[v.0].rotation.iter().map(|d| d.edge()).collect();
-        out.sort();
-        out.dedup();
-        out
+        ComplexRead::vertex_edges(self, v)
     }
 
     /// The faces incident to a vertex.
     pub fn vertex_faces(&self, v: VertexId) -> Vec<FaceId> {
-        let mut out: Vec<FaceId> =
-            self.vertices[v.0].rotation.iter().map(|d| self.dart_face(*d)).collect();
-        out.sort();
-        out.dedup();
-        out
+        ComplexRead::vertex_faces(self, v)
     }
 
     /// The two faces incident to an edge (left of forward dart, left of
@@ -168,19 +543,13 @@ impl CellComplex {
 
     /// The faces making up a region (the cells labeled `Interior` for it).
     pub fn region_faces(&self, region: &str) -> Vec<FaceId> {
-        match self.region_index(region) {
-            None => vec![],
-            Some(idx) => self
-                .face_ids()
-                .filter(|f| self.faces[f.0].label[idx] == Sign::Interior)
-                .collect(),
-        }
+        ComplexRead::region_faces(self, region)
     }
 
     /// Is the skeleton (union of vertices and edges) connected?
     /// (The paper's notion of a *connected* instance.)
     pub fn is_connected(&self) -> bool {
-        self.skeleton_component_count() <= 1
+        ComplexRead::is_connected(self)
     }
 
     /// Number of connected components of the skeleton.
@@ -215,81 +584,31 @@ impl CellComplex {
     /// every face a simple closed curve? (Simple instances are also
     /// connected.)
     pub fn is_simple(&self) -> bool {
-        if !self.is_connected() {
-            return false;
-        }
-        for f in self.face_ids() {
-            // The face boundary must consist of exactly one closed walk with
-            // no repeated vertices. We reconstruct the walk(s) from the darts
-            // whose left face is `f`.
-            let darts: Vec<DartId> = self.face_darts(f);
-            let vertices: Vec<VertexId> = darts.iter().map(|d| self.dart_tail(*d)).collect();
-            let distinct: BTreeSet<VertexId> = vertices.iter().copied().collect();
-            if distinct.len() != vertices.len() {
-                return false;
-            }
-        }
-        true
+        ComplexRead::is_simple(self)
     }
 
     /// All darts whose left face is `f` (the face's boundary walk(s)).
     pub fn face_darts(&self, f: FaceId) -> Vec<DartId> {
-        let mut out = Vec::new();
-        for e in self.edge_ids() {
-            if self.edges[e.0].left_face == f {
-                out.push(DartId::forward(e));
-            }
-            if self.edges[e.0].right_face == f {
-                out.push(DartId::backward(e));
-            }
-        }
-        out
+        ComplexRead::face_darts(self, f)
     }
 
     /// Check the Euler relation `|F| = |E| - |V| + 1 + C` where `C` is the
     /// number of skeleton components (for connected complexes this is the
     /// paper's `|Faces| = |Edges| - |Vertices| + 2`).
     pub fn euler_formula_holds(&self) -> bool {
-        let c = self.skeleton_component_count();
-        if c == 0 {
-            return self.face_count() == 1;
-        }
-        self.face_count() == self.edge_count() + 1 + c - self.vertex_count()
+        ComplexRead::euler_formula_holds(self)
     }
 
     /// The paper's orientation relation `O ⊆ {↻, ↺} × V × E × E`: for every
-    /// vertex, the pairs of consecutive incident edges in clockwise and in
-    /// counter-clockwise order. Loops contribute two entries, as in the
-    /// paper's Example 3.3.
+    /// vertex, the pairs of consecutive incident edges in clockwise (`true`)
+    /// and in counter-clockwise order. Loops contribute two entries, as in
+    /// the paper's Example 3.3.
     pub fn orientation_relation(&self) -> Vec<(bool, VertexId, EdgeId, EdgeId)> {
-        // `true` encodes clockwise (↻), `false` counter-clockwise (↺).
-        let mut out = Vec::new();
-        for v in self.vertex_ids() {
-            let rot = self.rotation(v);
-            let k = rot.len();
-            if k == 0 {
-                continue;
-            }
-            for i in 0..k {
-                let e1 = rot[i].edge();
-                let e2 = rot[(i + 1) % k].edge();
-                // rotation is counter-clockwise.
-                out.push((false, v, e1, e2));
-                out.push((true, v, e2, e1));
-            }
-        }
-        out
+        ComplexRead::orientation_relation(self)
     }
 
     /// Human-readable summary of the complex.
     pub fn summary(&self) -> String {
-        format!(
-            "cell complex: {} vertices, {} edges, {} faces ({} region(s), exterior = f{})",
-            self.vertex_count(),
-            self.edge_count(),
-            self.face_count(),
-            self.region_names.len(),
-            self.exterior.0
-        )
+        ComplexRead::summary(self)
     }
 }

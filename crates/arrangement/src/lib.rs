@@ -22,34 +22,48 @@
 //!
 //! ## Construction pipeline and cost
 //!
-//! Construction is a three-stage **partition → per-component sweep →
-//! assemble** pipeline:
+//! Construction is a three-stage **partition → parallel per-component sweep
+//! → view-assemble** pipeline:
 //!
 //! 1. **Partition** ([`partition`]): the boundary segments are grouped into
 //!    connected components of their *interaction graph* (bounding-box
 //!    overlap, union-find). Bounding-box overlap conservatively
 //!    over-approximates geometric intersection, so distinct components
 //!    provably share no vertex or edge of the arrangement.
-//! 2. **Per-component build**: each component is built independently — its
-//!    segments are cut at their mutual intersections by a Bentley–Ottmann
-//!    plane sweep in exact rational arithmetic ([`sweep`], `O((n + k) log
-//!    n)` for `n` segments with `k` intersection incidences), chains are
-//!    merged into maximal 1-cells, the rotation system and face walks
-//!    extracted, and cells labeled by propagation from the unbounded face.
-//!    The result is an immutable [`ComponentComplex`], shareable behind an
-//!    `Arc` so callers (the `topodb` component cache) can reuse untouched
-//!    components across updates.
-//! 3. **Assemble** ([`assemble`]): the component complexes are stitched into
-//!    the global [`CellComplex`] — components strictly nested inside a face
-//!    of another component are embedded there (their local exterior face is
-//!    unified with the parent face), all root components share the single
-//!    global exterior face, and every cell label is widened from the
-//!    component's region subset to the full instance.
+//! 2. **Parallel per-component sweep**: each component is built
+//!    independently — its segments are cut at their mutual intersections by
+//!    a Bentley–Ottmann plane sweep in exact rational arithmetic ([`sweep`],
+//!    `O((n + k) log n)` for `n` segments with `k` intersection
+//!    incidences), chains are merged into maximal 1-cells, the rotation
+//!    system and face walks extracted, and cells labeled by propagation from
+//!    the unbounded face. Components share nothing until assembly, so they
+//!    are swept **concurrently** on the small std-only worker pool of
+//!    [`parallel`] (thread count from `ARRANGEMENT_THREADS`, default =
+//!    available parallelism; the output is identical for every thread
+//!    count). The result is an immutable [`ComponentComplex`], shareable
+//!    behind an `Arc` so callers (the `topodb` component cache) can reuse
+//!    untouched components across updates.
+//! 3. **Assemble**: the component complexes are composed into the global
+//!    complex — components strictly nested inside a face of another
+//!    component are embedded there (their local exterior face is unified
+//!    with the parent face), all root components share the single global
+//!    exterior face, and every cell label is widened from the component's
+//!    region subset to the full instance. Assembly comes in two
+//!    index-identical flavors: **by view** ([`GlobalComplexView`],
+//!    `O(components + cross-component nesting)` — it holds the
+//!    `Arc<ComponentComplex>`es plus a compact global↔(component, local) id
+//!    translation table and serves cells through [`ComplexRead`] with no
+//!    per-cell copying), and **by copy** ([`assemble_components`],
+//!    `O(total cells)` — it materializes the flat [`CellComplex`]).
 //!
-//! Since components interact with nothing outside themselves, an update that
-//! touches one cluster of a multi-component map only requires re-sweeping
-//! that cluster plus an `O(total cells)` re-assembly — the locality the
-//! `topodb` component cache exploits.
+//! Every derived-structure computation downstream (invariant extraction,
+//! 4-relation classification, cell-level query evaluation) is generic over
+//! the [`ComplexRead`] accessor trait and works unchanged on either
+//! representation. Since components interact with nothing outside
+//! themselves, an update that touches one cluster of a multi-component map
+//! only requires re-sweeping that cluster plus an `O(components)`
+//! re-assembly of the view — update→read latency is proportional to the
+//! affected cluster, however large the rest of the map is.
 //!
 //! Two oracles guard the pipeline: the original all-pairs splitter (`O(n^2)`
 //! exact intersection tests) is retained in [`split`] as the sweep's
@@ -81,14 +95,19 @@ pub mod assemble;
 mod builder;
 mod complex;
 mod geometry;
+pub mod parallel;
 pub mod partition;
 pub mod split;
 pub mod sweep;
 mod types;
+mod view;
 
 pub use assemble::{assemble_components, build_component_complex, build_group_component, ComponentComplex};
-pub use builder::{build_complex, build_complex_monolithic};
-pub use complex::CellComplex;
+pub use builder::{
+    build_complex, build_complex_monolithic, build_complex_view, build_component_complexes,
+};
+pub use complex::{CellComplex, ComplexRead};
+pub use view::GlobalComplexView;
 pub use partition::{partition_instance, BBox, ComponentGroup};
 pub use types::{
     CellId, DartId, Dimension, EdgeData, EdgeId, FaceData, FaceId, Label, Sign, VertexData,

@@ -1,0 +1,490 @@
+//! Zero-copy assembly: a global complex served directly out of shared
+//! per-component sub-complexes.
+//!
+//! [`GlobalComplexView`] is the "assemble by view" counterpart of the
+//! "assemble by copy" [`crate::assemble_components`]: instead of translating
+//! every vertex, edge and face of every component into a flat
+//! [`CellComplex`](crate::CellComplex) (`O(total cells)` per assembly, even
+//! when a single component changed), it holds the `Arc<ComponentComplex>`es
+//! themselves plus a compact translation layer:
+//!
+//! * prefix-sum offset tables mapping global cell ids to `(component, local
+//!   id)` pairs and back (`O(components)` space, `O(log components)` lookup),
+//! * the cross-component nesting forest and the per-component *inherited*
+//!   labels (the parent face's signs for all foreign regions), resolved
+//!   parents-before-children exactly as the copying assembly does,
+//! * the local→global region-index map of every component.
+//!
+//! Construction is therefore `O(components + cross-component nesting)`, not
+//! `O(total cells)` — after a localized update, re-assembling the global
+//! view costs nothing per untouched cell. Accessors translate on the fly:
+//! labels are widened from the component's region subset to the full
+//! instance, dart and face ids are shifted into the global id space, and
+//! purely geometric data (polylines, points) is borrowed from the shared
+//! component allocations.
+//!
+//! The view is **index-identical** to the flat complex produced by
+//! [`crate::assemble_components`] from the same component list: every cell
+//! has the same id, label and incidences through either representation
+//! (`tests/view_differential.rs` pins this cell-by-cell). All derived
+//! computations are generic over [`ComplexRead`] and accept both.
+
+use crate::assemble::{
+    assemble_components, compute_component_nesting, nesting_topo_order, widen_label,
+    ComponentComplex,
+};
+use crate::complex::{CellComplex, ComplexRead};
+use crate::types::*;
+use spatial_core::prelude::Point;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A zero-copy global cell complex over shared component sub-complexes.
+///
+/// See the [module docs](self) for the representation. Obtain one from
+/// [`crate::build_complex_view`] (cold build) or assemble one directly from
+/// cached components with [`GlobalComplexView::new`].
+#[derive(Clone, Debug)]
+pub struct GlobalComplexView {
+    region_names: Vec<String>,
+    components: Vec<Arc<ComponentComplex>>,
+    /// Local→global region index map per component (strictly increasing,
+    /// since both name lists are sorted).
+    region_map: Vec<Vec<usize>>,
+    /// First global vertex id of each component (prefix sums).
+    vertex_start: Vec<usize>,
+    /// First global edge id of each component (prefix sums).
+    edge_start: Vec<usize>,
+    /// First global id of each component's *bounded* faces (the global
+    /// exterior face is id 0; bounded local faces `1..` map to consecutive
+    /// global ids, matching the copying assembly's numbering exactly).
+    face_start: Vec<usize>,
+    vertex_total: usize,
+    edge_total: usize,
+    face_total: usize,
+    /// Global id of the face each component is embedded in (the exterior
+    /// face for root components).
+    parent_face: Vec<FaceId>,
+    /// Per component: the parent face's global label (signs inherited for
+    /// all regions foreign to the component).
+    inherited: Vec<Label>,
+    /// Global face id → components embedded directly in that face.
+    nested_in_face: BTreeMap<usize, Vec<usize>>,
+    exterior_label: Label,
+}
+
+impl GlobalComplexView {
+    /// Assemble the view of the instance with region set `region_names`
+    /// (sorted; every component's region set must be a subset) over the
+    /// given component sub-complexes.
+    ///
+    /// Cost: `O(components + cross-component nesting)` — no per-cell work.
+    pub fn new(
+        region_names: Vec<String>,
+        components: Vec<Arc<ComponentComplex>>,
+    ) -> GlobalComplexView {
+        let n_regions = region_names.len();
+        let k = components.len();
+
+        let region_map: Vec<Vec<usize>> = components
+            .iter()
+            .map(|c| {
+                c.region_names()
+                    .iter()
+                    .map(|n| {
+                        region_names
+                            .binary_search(n)
+                            .expect("component region is in the global name set")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut vertex_start = Vec::with_capacity(k);
+        let mut edge_start = Vec::with_capacity(k);
+        let mut face_start = Vec::with_capacity(k);
+        let (mut vt, mut et, mut ft) = (0usize, 0usize, 1usize);
+        for comp in &components {
+            debug_assert_eq!(
+                comp.complex.exterior, FaceId(0),
+                "component complexes designate face 0 as their exterior"
+            );
+            vertex_start.push(vt);
+            edge_start.push(et);
+            face_start.push(ft);
+            vt += comp.complex.vertex_count();
+            et += comp.complex.edge_count();
+            ft += comp.complex.face_count() - 1; // local exterior is merged away
+        }
+
+        let parents = compute_component_nesting(&components);
+        let topo = nesting_topo_order(&parents);
+        let parent_face: Vec<FaceId> = parents
+            .iter()
+            .map(|p| match p {
+                Some((d, f)) => FaceId(face_start[*d] + f.0 - 1),
+                None => FaceId(0),
+            })
+            .collect();
+
+        let exterior_label: Label = vec![Sign::Exterior; n_regions];
+        let mut inherited: Vec<Label> = vec![Vec::new(); k];
+        for &c in &topo {
+            inherited[c] = match parents[c] {
+                None => exterior_label.clone(),
+                Some((d, f)) => widen_label(
+                    &inherited[d],
+                    &components[d].complex.face(f).label,
+                    &region_map[d],
+                ),
+            };
+        }
+
+        let mut nested_in_face: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (c, pf) in parent_face.iter().enumerate() {
+            nested_in_face.entry(pf.0).or_default().push(c);
+        }
+
+        GlobalComplexView {
+            region_names,
+            components,
+            region_map,
+            vertex_start,
+            edge_start,
+            face_start,
+            vertex_total: vt,
+            edge_total: et,
+            face_total: ft,
+            parent_face,
+            inherited,
+            nested_in_face,
+            exterior_label,
+        }
+    }
+
+    /// The component sub-complexes backing the view, in assembly order.
+    pub fn components(&self) -> &[Arc<ComponentComplex>] {
+        &self.components
+    }
+
+    /// Number of component sub-complexes.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Per-component `(vertices, edges, bounded faces)` counts, in assembly
+    /// order.
+    pub fn component_cell_counts(&self) -> Vec<(usize, usize, usize)> {
+        self.components
+            .iter()
+            .map(|c| {
+                let x = &c.complex;
+                (x.vertex_count(), x.edge_count(), x.face_count() - 1)
+            })
+            .collect()
+    }
+
+    /// The global id of the face component `c` is embedded in (the exterior
+    /// face for root components).
+    pub fn component_parent_face(&self, c: usize) -> FaceId {
+        self.parent_face[c]
+    }
+
+    /// Materialize the flat [`CellComplex`] with the identical cell
+    /// numbering (a deep copy; `O(total cells)`).
+    pub fn to_cell_complex(&self) -> CellComplex {
+        assemble_components(self.region_names.clone(), &self.components)
+    }
+
+    // ---- id translation ---------------------------------------------------
+
+    /// The `(component, local id)` pair of a global vertex id.
+    fn vertex_home(&self, v: VertexId) -> (usize, usize) {
+        debug_assert!(v.0 < self.vertex_total, "vertex id out of range");
+        let c = self.vertex_start.partition_point(|&s| s <= v.0) - 1;
+        (c, v.0 - self.vertex_start[c])
+    }
+
+    /// The `(component, local id)` pair of a global edge id.
+    fn edge_home(&self, e: EdgeId) -> (usize, usize) {
+        debug_assert!(e.0 < self.edge_total, "edge id out of range");
+        let c = self.edge_start.partition_point(|&s| s <= e.0) - 1;
+        (c, e.0 - self.edge_start[c])
+    }
+
+    /// The `(component, local id)` pair of a global *bounded* face id.
+    fn face_home(&self, f: FaceId) -> (usize, FaceId) {
+        debug_assert!(f.0 >= 1 && f.0 < self.face_total, "bounded face id out of range");
+        let c = self.face_start.partition_point(|&s| s <= f.0) - 1;
+        (c, FaceId(f.0 - self.face_start[c] + 1))
+    }
+
+    /// The global face id of a component-local face.
+    fn face_abroad(&self, c: usize, local: FaceId) -> FaceId {
+        if local == self.components[c].complex.exterior {
+            self.parent_face[c]
+        } else {
+            FaceId(self.face_start[c] + local.0 - 1)
+        }
+    }
+
+    /// The sign of a global region index at a component-local label, falling
+    /// back to the component's inherited label for foreign regions.
+    fn local_sign(&self, c: usize, local_label: &Label, region: usize) -> Sign {
+        match self.region_map[c].binary_search(&region) {
+            Ok(p) => local_label[p],
+            Err(_) => self.inherited[c][region],
+        }
+    }
+}
+
+impl ComplexRead for GlobalComplexView {
+    fn region_names(&self) -> &[String] {
+        &self.region_names
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.vertex_total
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_total
+    }
+
+    fn face_count(&self) -> usize {
+        self.face_total
+    }
+
+    fn exterior_face(&self) -> FaceId {
+        FaceId(0)
+    }
+
+    fn vertex_point(&self, v: VertexId) -> Point {
+        let (c, lv) = self.vertex_home(v);
+        self.components[c].complex.vertices[lv].point
+    }
+
+    fn vertex_label(&self, v: VertexId) -> Label {
+        let (c, lv) = self.vertex_home(v);
+        widen_label(
+            &self.inherited[c],
+            &self.components[c].complex.vertices[lv].label,
+            &self.region_map[c],
+        )
+    }
+
+    fn vertex_rotation(&self, v: VertexId) -> Vec<DartId> {
+        let (c, lv) = self.vertex_home(v);
+        let shift = 2 * self.edge_start[c];
+        self.components[c].complex.vertices[lv]
+            .rotation
+            .iter()
+            .map(|d| DartId(d.0 + shift))
+            .collect()
+    }
+
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let (c, le) = self.edge_home(e);
+        let data = &self.components[c].complex.edges[le];
+        let off = self.vertex_start[c];
+        (VertexId(data.tail.0 + off), VertexId(data.head.0 + off))
+    }
+
+    fn edge_polyline(&self, e: EdgeId) -> &[Point] {
+        let (c, le) = self.edge_home(e);
+        &self.components[c].complex.edges[le].polyline
+    }
+
+    fn edge_label(&self, e: EdgeId) -> Label {
+        let (c, le) = self.edge_home(e);
+        widen_label(
+            &self.inherited[c],
+            &self.components[c].complex.edges[le].label,
+            &self.region_map[c],
+        )
+    }
+
+    fn edge_region_marks(&self, e: EdgeId) -> Vec<usize> {
+        let (c, le) = self.edge_home(e);
+        self.components[c].complex.edges[le]
+            .on_boundary_of
+            .iter()
+            .map(|&r| self.region_map[c][r])
+            .collect()
+    }
+
+    fn edge_faces(&self, e: EdgeId) -> (FaceId, FaceId) {
+        let (c, le) = self.edge_home(e);
+        let data = &self.components[c].complex.edges[le];
+        (self.face_abroad(c, data.left_face), self.face_abroad(c, data.right_face))
+    }
+
+    fn face_label(&self, f: FaceId) -> Label {
+        if f.0 == 0 {
+            return self.exterior_label.clone();
+        }
+        let (c, lf) = self.face_home(f);
+        widen_label(
+            &self.inherited[c],
+            &self.components[c].complex.face(lf).label,
+            &self.region_map[c],
+        )
+    }
+
+    fn face_boundary(&self, f: FaceId) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        if f.0 != 0 {
+            let (c, lf) = self.face_home(f);
+            let off = self.edge_start[c];
+            out.extend(
+                self.components[c].complex.face(lf).boundary_edges.iter().map(|e| EdgeId(e.0 + off)),
+            );
+        }
+        // Components embedded in this face contribute their outer boundary.
+        if let Some(children) = self.nested_in_face.get(&f.0) {
+            for &d in children {
+                let comp = &self.components[d].complex;
+                let off = self.edge_start[d];
+                out.extend(
+                    comp.face(comp.exterior).boundary_edges.iter().map(|e| EdgeId(e.0 + off)),
+                );
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn face_is_exterior(&self, f: FaceId) -> bool {
+        f.0 == 0
+    }
+
+    fn face_sample(&self, f: FaceId) -> Option<Point> {
+        if f.0 == 0 {
+            return None;
+        }
+        let (c, lf) = self.face_home(f);
+        let p = self.components[c].complex.face(lf).sample_point?;
+        // A sample computed locally may now fall inside a component embedded
+        // into this face by assembly; drop it then (conservative bbox test,
+        // mirroring the copying assembly).
+        if let Some(children) = self.nested_in_face.get(&f.0) {
+            for &d in children {
+                if self.components[d].bbox.as_ref().is_some_and(|b| b.contains_point(&p)) {
+                    return None;
+                }
+            }
+        }
+        Some(p)
+    }
+
+    fn vertex_sign(&self, v: VertexId, region: usize) -> Sign {
+        let (c, lv) = self.vertex_home(v);
+        self.local_sign(c, &self.components[c].complex.vertices[lv].label, region)
+    }
+
+    fn edge_sign(&self, e: EdgeId, region: usize) -> Sign {
+        let (c, le) = self.edge_home(e);
+        self.local_sign(c, &self.components[c].complex.edges[le].label, region)
+    }
+
+    fn face_sign(&self, f: FaceId, region: usize) -> Sign {
+        if f.0 == 0 {
+            return Sign::Exterior;
+        }
+        let (c, lf) = self.face_home(f);
+        self.local_sign(c, &self.components[c].complex.face(lf).label, region)
+    }
+
+    fn skeleton_component_count(&self) -> usize {
+        // Skeleton components never span partition components (they share no
+        // vertex), so the global count is the sum of the local ones.
+        self.components.iter().map(|c| c.complex.skeleton_component_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_component_complexes;
+    use spatial_core::fixtures;
+    use spatial_core::prelude::*;
+
+    fn view_of(inst: &SpatialInstance) -> GlobalComplexView {
+        let names: Vec<String> = inst.names().iter().map(|s| s.to_string()).collect();
+        GlobalComplexView::new(names, build_component_complexes(inst, 1))
+    }
+
+    #[test]
+    fn empty_view_is_single_exterior_face() {
+        let v = GlobalComplexView::new(vec![], vec![]);
+        assert_eq!(v.vertex_count(), 0);
+        assert_eq!(v.edge_count(), 0);
+        assert_eq!(v.face_count(), 1);
+        assert!(v.face_is_exterior(FaceId(0)));
+        assert!(v.euler_formula_holds());
+        assert!(v.face_boundary(FaceId(0)).is_empty());
+    }
+
+    #[test]
+    fn nested_separated_squares_through_the_view() {
+        let inst = SpatialInstance::from_regions([
+            ("Inner", Region::rect_from_ints(40, 40, 60, 60)),
+            ("Outer", Region::rect_from_ints(0, 0, 100, 100)),
+        ]);
+        let v = view_of(&inst);
+        assert_eq!(v.component_count(), 2);
+        assert_eq!(v.vertex_count(), 2);
+        assert_eq!(v.edge_count(), 2);
+        assert_eq!(v.face_count(), 3);
+        assert!(v.euler_formula_holds());
+        // The annulus face (Outer only) is bounded by both loops.
+        let annulus = v
+            .face_ids()
+            .find(|&f| v.face_label(f) == vec![Sign::Exterior, Sign::Interior])
+            .expect("outer-only face exists");
+        assert_eq!(v.face_boundary(annulus).len(), 2);
+        assert!(v
+            .face_ids()
+            .any(|f| v.face_label(f) == vec![Sign::Interior, Sign::Interior]));
+        // The exterior sees only Outer's boundary.
+        assert_eq!(v.face_boundary(v.exterior_face()).len(), 1);
+    }
+
+    #[test]
+    fn view_matches_copy_assembly_cell_for_cell() {
+        let inst = fixtures::nested_three();
+        let v = view_of(&inst);
+        let flat = v.to_cell_complex();
+        assert_eq!(v.vertex_count(), flat.vertex_count());
+        assert_eq!(v.edge_count(), flat.edge_count());
+        assert_eq!(v.face_count(), flat.face_count());
+        for f in v.face_ids() {
+            assert_eq!(v.face_label(f), ComplexRead::face_label(&flat, f));
+            assert_eq!(v.face_boundary(f), ComplexRead::face_boundary(&flat, f));
+        }
+        for e in v.edge_ids() {
+            assert_eq!(v.edge_faces(e), ComplexRead::edge_faces(&flat, e));
+            assert_eq!(v.edge_label(e), ComplexRead::edge_label(&flat, e));
+        }
+        for vx in v.vertex_ids() {
+            assert_eq!(v.vertex_rotation(vx), ComplexRead::vertex_rotation(&flat, vx));
+        }
+    }
+
+    #[test]
+    fn sign_fast_paths_agree_with_labels() {
+        let inst = fixtures::nested_three();
+        let v = view_of(&inst);
+        for r in 0..v.region_names().len() {
+            for f in v.face_ids() {
+                assert_eq!(v.face_sign(f, r), v.face_label(f)[r]);
+            }
+            for e in v.edge_ids() {
+                assert_eq!(v.edge_sign(e, r), v.edge_label(e)[r]);
+            }
+            for vx in v.vertex_ids() {
+                assert_eq!(v.vertex_sign(vx, r), v.vertex_label(vx)[r]);
+            }
+        }
+    }
+}

@@ -11,45 +11,12 @@
 //! sign labels (vertices by point, edges by canonical polyline and
 //! boundary-region set, faces by label and boundary size).
 
-use arrangement::{build_complex, build_complex_monolithic, CellComplex};
+use arrangement::{build_complex, build_complex_monolithic};
 use spatial_core::fixtures;
 use spatial_core::prelude::*;
 
-/// A re-indexing-invariant fingerprint of a complex.
-fn fingerprint(c: &CellComplex) -> (Vec<String>, Vec<String>, Vec<String>) {
-    let mut vertices: Vec<String> = c
-        .vertex_ids()
-        .map(|v| {
-            let d = c.vertex(v);
-            format!("{:?} {:?} deg={}", d.point, d.label, d.rotation.len())
-        })
-        .collect();
-    vertices.sort();
-    let mut edges: Vec<String> = c
-        .edge_ids()
-        .map(|e| {
-            let d = c.edge(e);
-            let mut pl = d.polyline.clone();
-            let rev: Vec<Point> = pl.iter().rev().copied().collect();
-            if rev < pl {
-                pl = rev;
-            }
-            let marks: Vec<&str> =
-                d.on_boundary_of.iter().map(|&r| c.region_names()[r].as_str()).collect();
-            format!("{:?} {:?} {:?}", pl, d.label, marks)
-        })
-        .collect();
-    edges.sort();
-    let mut faces: Vec<String> = c
-        .face_ids()
-        .map(|f| {
-            let d = c.face(f);
-            format!("{:?} ext={} nbound={}", d.label, d.is_exterior, d.boundary_edges.len())
-        })
-        .collect();
-    faces.sort();
-    (vertices, edges, faces)
-}
+mod common;
+use common::fingerprint;
 
 fn check(inst: &SpatialInstance, context: &str) {
     let partitioned = build_complex(inst);

@@ -1,0 +1,70 @@
+//! Determinism of the parallel construction pipeline: sweeping components on
+//! 1, 2 or 8 worker threads — whether selected explicitly or through the
+//! `ARRANGEMENT_THREADS` environment variable — must produce fingerprint- and
+//! index-identical complexes.
+//!
+//! This file deliberately holds a single `#[test]` (its own test binary), so
+//! the environment-variable part cannot race with any other test in the same
+//! process.
+
+use arrangement::{build_complex, build_component_complexes, ComplexRead, GlobalComplexView};
+use spatial_core::prelude::*;
+
+mod common;
+use common::fingerprint;
+
+fn view_with_threads(inst: &SpatialInstance, threads: usize) -> GlobalComplexView {
+    let names: Vec<String> = inst.names().iter().map(|s| s.to_string()).collect();
+    GlobalComplexView::new(names, build_component_complexes(inst, threads))
+}
+
+#[test]
+fn thread_count_never_changes_the_complex() {
+    for (name, inst) in [
+        ("clustered_map(8, 4, 5)", datagen::clustered_map(8, 4, 5)),
+        ("wide_map(24, 9)", datagen::wide_map(24, 9)),
+        ("dense_overlap_map(4, 4, 4)", datagen::dense_overlap_map(4, 4, 4)),
+    ] {
+        // Explicit thread counts through the builder API. The serial result
+        // is the baseline; parallel runs must be index-identical, not merely
+        // fingerprint-equal, because downstream consumers address cells by
+        // id.
+        let baseline = view_with_threads(&inst, 1);
+        let base_fp = fingerprint(&baseline);
+        for threads in [2usize, 8] {
+            let parallel = view_with_threads(&inst, threads);
+            assert_eq!(
+                base_fp,
+                fingerprint(&parallel),
+                "{name}: fingerprint changed at {threads} threads"
+            );
+            for f in baseline.face_ids() {
+                assert_eq!(
+                    baseline.face_label(f),
+                    parallel.face_label(f),
+                    "{name}: face {f:?} differs at {threads} threads"
+                );
+            }
+            for e in baseline.edge_ids() {
+                assert_eq!(
+                    baseline.edge_faces(e),
+                    parallel.edge_faces(e),
+                    "{name}: edge {e:?} differs at {threads} threads"
+                );
+            }
+        }
+
+        // The same thread counts selected through ARRANGEMENT_THREADS, which
+        // drives `build_complex` end to end (partition → parallel sweep →
+        // copy assembly).
+        let mut env_fps = Vec::new();
+        for threads in ["1", "2", "8"] {
+            std::env::set_var("ARRANGEMENT_THREADS", threads);
+            env_fps.push(fingerprint(&build_complex(&inst)));
+        }
+        std::env::remove_var("ARRANGEMENT_THREADS");
+        assert_eq!(env_fps[0], base_fp, "{name}: env-selected serial build diverges");
+        assert_eq!(env_fps[0], env_fps[1], "{name}: ARRANGEMENT_THREADS=2 diverges");
+        assert_eq!(env_fps[0], env_fps[2], "{name}: ARRANGEMENT_THREADS=8 diverges");
+    }
+}

@@ -1,0 +1,132 @@
+//! Differential tests for the zero-copy assembly path:
+//! [`arrangement::GlobalComplexView`] must agree with the pre-partitioning
+//! single-sweep oracle ([`arrangement::build_complex_monolithic`]) on every
+//! input, up to cell re-indexing — and must agree with the copying assembly
+//! ([`arrangement::assemble_components`]) *cell for cell*, since the two
+//! representations share one id numbering.
+//!
+//! Agreement with the monolithic oracle is checked on re-indexing-invariant
+//! fingerprints computed through the [`ComplexRead`] accessor trait (the
+//! same surface every downstream consumer uses), so the fingerprint also
+//! exercises the trait's translation layer end to end.
+
+use arrangement::{
+    assemble_components, build_complex_monolithic, build_component_complexes, ComplexRead,
+    GlobalComplexView,
+};
+use spatial_core::fixtures;
+use spatial_core::prelude::*;
+
+mod common;
+use common::fingerprint;
+
+fn view_of(inst: &SpatialInstance) -> GlobalComplexView {
+    let names: Vec<String> = inst.names().iter().map(|s| s.to_string()).collect();
+    GlobalComplexView::new(names, build_component_complexes(inst, 1))
+}
+
+fn check(inst: &SpatialInstance, context: &str) {
+    let view = view_of(inst);
+    let monolithic = build_complex_monolithic(inst);
+    assert!(view.euler_formula_holds(), "euler fails (view) on {context}");
+    assert_eq!(
+        view.skeleton_component_count(),
+        ComplexRead::skeleton_component_count(&monolithic),
+        "skeleton component mismatch on {context}"
+    );
+    assert_eq!(fingerprint(&view), fingerprint(&monolithic), "fingerprints differ on {context}");
+
+    // The copying assembly over the same components must match the view not
+    // just up to re-indexing but cell for cell: identical ids, labels,
+    // incidences, rotations and samples.
+    let flat = assemble_components(
+        inst.names().iter().map(|s| s.to_string()).collect(),
+        view.components(),
+    );
+    assert_eq!(view.vertex_count(), ComplexRead::vertex_count(&flat), "{context}");
+    assert_eq!(view.edge_count(), ComplexRead::edge_count(&flat), "{context}");
+    assert_eq!(view.face_count(), ComplexRead::face_count(&flat), "{context}");
+    assert_eq!(view.exterior_face(), ComplexRead::exterior_face(&flat), "{context}");
+    for v in view.vertex_ids() {
+        assert_eq!(view.vertex_point(v), ComplexRead::vertex_point(&flat, v), "{context}");
+        assert_eq!(view.vertex_label(v), ComplexRead::vertex_label(&flat, v), "{context}");
+        assert_eq!(view.vertex_rotation(v), ComplexRead::vertex_rotation(&flat, v), "{context}");
+    }
+    for e in view.edge_ids() {
+        assert_eq!(view.edge_endpoints(e), ComplexRead::edge_endpoints(&flat, e), "{context}");
+        assert_eq!(view.edge_faces(e), ComplexRead::edge_faces(&flat, e), "{context}");
+        assert_eq!(view.edge_label(e), ComplexRead::edge_label(&flat, e), "{context}");
+        assert_eq!(
+            view.edge_region_marks(e),
+            ComplexRead::edge_region_marks(&flat, e),
+            "{context}"
+        );
+        assert_eq!(view.edge_polyline(e), ComplexRead::edge_polyline(&flat, e), "{context}");
+    }
+    for f in view.face_ids() {
+        assert_eq!(view.face_label(f), ComplexRead::face_label(&flat, f), "{context}");
+        assert_eq!(view.face_boundary(f), ComplexRead::face_boundary(&flat, f), "{context}");
+        assert_eq!(view.face_sample(f), ComplexRead::face_sample(&flat, f), "{context}");
+        assert_eq!(
+            view.face_is_exterior(f),
+            ComplexRead::face_is_exterior(&flat, f),
+            "{context}"
+        );
+    }
+}
+
+#[test]
+fn paper_fixtures_agree() {
+    for (name, inst) in [
+        ("fig_1a", fixtures::fig_1a()),
+        ("fig_1b", fixtures::fig_1b()),
+        ("fig_1c", fixtures::fig_1c()),
+        ("fig_1d", fixtures::fig_1d()),
+        ("petals_abcd", fixtures::petals_abcd()),
+        ("petals_acbd", fixtures::petals_acbd()),
+        ("ring", fixtures::ring()),
+        ("ring_with_flag", fixtures::ring_with_flag()),
+        ("ring_with_island_in", fixtures::ring_with_island(true)),
+        ("ring_with_island_out", fixtures::ring_with_island(false)),
+        ("nested_three", fixtures::nested_three()),
+        ("shared_boundary", fixtures::shared_boundary()),
+        ("empty", SpatialInstance::new()),
+    ] {
+        check(&inst, name);
+    }
+    for (name, inst) in fixtures::fig_2_pairs() {
+        check(&inst, &format!("fig_2/{name}"));
+    }
+}
+
+#[test]
+fn randomized_instances_agree() {
+    for seed in 0..40 {
+        for n in [5usize, 12] {
+            let inst = datagen::random_rectangles(n, 24, seed);
+            check(&inst, &format!("random_rectangles({n}, 24, {seed})"));
+        }
+    }
+    for seed in 0..10 {
+        let inst = datagen::flower(8, seed);
+        check(&inst, &format!("flower(8, {seed})"));
+    }
+}
+
+#[test]
+fn clustered_and_wide_workloads_agree() {
+    for n in [2usize, 5, 9] {
+        check(&datagen::nested_rings(n), &format!("nested_rings({n})"));
+        check(&datagen::overlapping_chain(n), &format!("overlapping_chain({n})"));
+    }
+    for (clusters, per) in [(2usize, 3usize), (4, 4), (8, 2)] {
+        for seed in [1u64, 7] {
+            let inst = datagen::clustered_map(clusters, per, seed);
+            check(&inst, &format!("clustered_map({clusters}, {per}, {seed})"));
+        }
+    }
+    for (components, seed) in [(5usize, 2u64), (16, 11), (30, 23)] {
+        let inst = datagen::wide_map(components, seed);
+        check(&inst, &format!("wide_map({components}, {seed})"));
+    }
+}

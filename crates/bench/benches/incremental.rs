@@ -6,13 +6,17 @@
 //!
 //! Every measured iteration performs one `insert` into cluster 0 (alternating
 //! between two geometries so the sweep can never be skipped) followed by a
-//! `cell_complex()` read. The `incremental` series keeps one long-lived
-//! database whose component cache carries the 15 untouched clusters across
-//! the update; the `full_rebuild` series re-sweeps the whole updated instance
-//! with the monolithic oracle, which is exactly the pre-component-cache
-//! behavior of `TopoDatabase::insert`. Acceptance: `incremental` is at least
-//! 5x cheaper at 256+ regions (`scripts/bench_snapshot.sh` records both
-//! series in `BENCH_arrangement.json`).
+//! `complex_view()` read — the database's primary read path, which
+//! re-sweeps the affected cluster and re-assembles the global complex *by
+//! view*: untouched `Arc<ComponentComplex>`es are shared, no cell is copied,
+//! so the update→read cost no longer scales with the untouched-component
+//! cell count. The `incremental` series keeps one long-lived database whose
+//! component cache carries the 15 untouched clusters across the update; the
+//! `full_rebuild` series re-sweeps the whole updated instance with the
+//! monolithic oracle, which is exactly the pre-component-cache behavior of
+//! `TopoDatabase::insert`. Acceptance: `incremental` is at least 5x cheaper
+//! at 256+ regions (`scripts/bench_snapshot.sh` records both series in
+//! `BENCH_arrangement.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spatial_core::region::Region;
@@ -50,13 +54,13 @@ fn incremental_update(c: &mut Criterion) {
 
         // Long-lived database: the component cache survives across updates.
         let mut db = TopoDatabase::from_instance(inst.clone());
-        let _ = db.cell_complex(); // warm: all clusters swept once
+        let _ = db.complex_view(); // warm: all clusters swept once
         let mut flip = false;
         group.bench_with_input(BenchmarkId::new("incremental", n), &(), |b, _| {
             b.iter(|| {
                 flip = !flip;
                 db.insert("Update", update_region(flip));
-                black_box(db.cell_complex())
+                black_box(db.complex_view())
             })
         });
 

@@ -190,6 +190,42 @@ pub fn clustered_map(clusters: usize, regions_per_cluster: usize, seed: u64) -> 
     inst
 }
 
+/// A "wide" multi-component map: `components` spatially separated pairs of
+/// overlapping rectangles, deterministic in the seed.
+///
+/// Every component is tiny (two pseudo-random rectangles that always
+/// overlap) and components are laid out on a coarse grid with gaps several
+/// times their span, so the interaction-graph partition of `arrangement`
+/// yields exactly `components` groups of near-constant size. This is the
+/// many-small-component workload where assembly cost and parallel sweeping
+/// dominate — the sweet spot for the zero-copy `GlobalComplexView` (whose
+/// assembly is `O(components)`, not `O(total cells)`) and for the
+/// per-component worker pool. Region `W{c:04}_{A,B}` belongs to component
+/// `c`.
+pub fn wide_map(components: usize, seed: u64) -> SpatialInstance {
+    assert!(components > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span: i64 = 12;
+    let pitch: i64 = span * 4;
+    let cols = (components as f64).sqrt().ceil() as i64;
+    let mut inst = SpatialInstance::new();
+    for c in 0..components {
+        let ox = (c as i64 % cols) * pitch;
+        let oy = (c as i64 / cols) * pitch;
+        // Rectangle A anchored at the component origin; rectangle B is A
+        // translated diagonally by less than its size, so the two boundaries
+        // always cross (never nest) and the pair forms exactly one
+        // interaction component, well inside the pitch.
+        let aw = rng.gen_range(4..=span - 4);
+        let ah = rng.gen_range(4..=span - 4);
+        let bx = ox + rng.gen_range(1..aw);
+        let by = oy + rng.gen_range(1..ah);
+        inst.insert(format!("W{c:04}_A"), Region::rect_from_ints(ox, oy, ox + aw, oy + ah));
+        inst.insert(format!("W{c:04}_B"), Region::rect_from_ints(bx, by, bx + aw, by + ah));
+    }
+    inst
+}
+
 /// The instance-size sweep used by the scaling benchmarks: grid maps with
 /// roughly `n` regions.
 pub fn scaling_sweep(sizes: &[usize]) -> Vec<(usize, SpatialInstance)> {
@@ -274,6 +310,33 @@ mod tests {
             if name.starts_with("C001_") {
                 assert!(x0 >= Rational::from_int(100), "{name} leaks into cluster 0");
             }
+        }
+    }
+
+    #[test]
+    fn wide_map_is_deterministic_and_component_separated() {
+        let a = wide_map(9, 3);
+        assert_eq!(a, wide_map(9, 3));
+        assert_ne!(a, wide_map(9, 4));
+        assert_eq!(a.len(), 18, "two regions per component");
+        // The two rectangles of a component always properly overlap, and
+        // components never leave their grid cell (pitch 48).
+        for c in 0..9usize {
+            let ra = a.ext(&format!("W{c:04}_A")).unwrap();
+            let rb = a.ext(&format!("W{c:04}_B")).unwrap();
+            let (bx0, by0, _, _) = rb.bounding_box();
+            assert_eq!(
+                ra.locate(&Point::new(
+                    bx0 + Rational::new(1, 2),
+                    by0 + Rational::new(1, 2)
+                )),
+                Location::Inside,
+                "component {c}: B's corner area lies inside A"
+            );
+            let (ax0, _, ax1, _) = ra.bounding_box();
+            let cell = Rational::from_int(48);
+            let col = Rational::from_int((c as i64 % 3) * 48);
+            assert!(ax0 >= col && ax1 < col + cell, "component {c} stays in its grid cell");
         }
     }
 

@@ -17,7 +17,7 @@
 //! by Theorem 3.4 it characterizes the instance up to homeomorphism of the
 //! plane.
 
-use arrangement::{CellComplex, Label, Sign};
+use arrangement::{ComplexRead, Label, Sign};
 use spatial_core::prelude::SpatialInstance;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -70,29 +70,39 @@ pub struct Invariant {
 }
 
 impl Invariant {
-    /// Extract the invariant from a geometric cell complex.
-    pub fn from_complex(complex: &CellComplex) -> Invariant {
+    /// Extract the invariant from a geometric cell complex — either the flat
+    /// [`arrangement::CellComplex`] or the zero-copy
+    /// [`arrangement::GlobalComplexView`] (any [`ComplexRead`]
+    /// implementation; the two are index-identical, so the extracted
+    /// invariant does not depend on the representation).
+    pub fn from_complex<C: ComplexRead>(complex: &C) -> Invariant {
         use arrangement::DartId;
         let region_names = complex.region_names().to_vec();
-        let vertex_labels = complex.vertex_ids().map(|v| complex.vertex(v).label.clone()).collect();
-        let edge_labels = complex.edge_ids().map(|e| complex.edge(e).label.clone()).collect();
-        let face_labels = complex.face_ids().map(|f| complex.face(f).label.clone()).collect();
+        let vertex_labels = complex.vertex_ids().map(|v| complex.vertex_label(v)).collect();
+        let edge_labels = complex.edge_ids().map(|e| complex.edge_label(e)).collect();
+        let face_labels = complex.face_ids().map(|f| complex.face_label(f)).collect();
         let edge_endpoints = complex
             .edge_ids()
-            .map(|e| (complex.edge(e).tail.0, complex.edge(e).head.0))
+            .map(|e| {
+                let (t, h) = complex.edge_endpoints(e);
+                (t.0, h.0)
+            })
             .collect();
         let edge_faces = complex
             .edge_ids()
-            .map(|e| (complex.edge(e).left_face.0, complex.edge(e).right_face.0))
+            .map(|e| {
+                let (l, r) = complex.edge_faces(e);
+                (l.0, r.0)
+            })
             .collect();
         let face_edges = complex
             .face_ids()
-            .map(|f| complex.face_edges(f).iter().map(|e| e.0).collect())
+            .map(|f| complex.face_boundary(f).iter().map(|e| e.0).collect())
             .collect();
         let to_dart = |d: &DartId| Dart { edge: d.edge().0, forward: d.is_forward() };
         let rotation = complex
             .vertex_ids()
-            .map(|v| complex.rotation(v).iter().map(to_dart).collect())
+            .map(|v| complex.vertex_rotation(v).iter().map(to_dart).collect())
             .collect();
         Invariant {
             region_names,
@@ -107,11 +117,11 @@ impl Invariant {
         }
     }
 
-    /// Compute the invariant of a spatial instance (builds the cell complex
-    /// internally). This is the paper's Theorem 3.5 construction, restricted
-    /// to polygonal inputs.
+    /// Compute the invariant of a spatial instance (builds the zero-copy
+    /// complex view internally). This is the paper's Theorem 3.5
+    /// construction, restricted to polygonal inputs.
     pub fn of_instance(instance: &SpatialInstance) -> Invariant {
-        Invariant::from_complex(&arrangement::build_complex(instance))
+        Invariant::from_complex(&arrangement::build_complex_view(instance))
     }
 
     /// The region names, in label order.

@@ -15,7 +15,7 @@
 //! invariant promised by Corollary 3.7, in executable form.
 
 use crate::ast::{Formula, NameTerm, RegionExpr};
-use arrangement::{build_complex, CellComplex, Sign};
+use arrangement::{build_complex_view, ComplexRead, Sign};
 use relations::{FourIntersectionMatrix, Relation4};
 use spatial_core::prelude::SpatialInstance;
 use std::collections::{BTreeMap, BTreeSet};
@@ -79,13 +79,18 @@ pub struct CellEvaluator {
 }
 
 impl CellEvaluator {
-    /// Build the evaluator for an instance (constructs the cell complex).
+    /// Build the evaluator for an instance (constructs the zero-copy complex
+    /// view).
     pub fn new(instance: &SpatialInstance) -> CellEvaluator {
-        CellEvaluator::from_complex(&build_complex(instance))
+        CellEvaluator::from_complex(&build_complex_view(instance))
     }
 
-    /// Build the evaluator from an existing cell complex.
-    pub fn from_complex(complex: &CellComplex) -> CellEvaluator {
+    /// Build the evaluator from an existing cell complex — either the flat
+    /// [`arrangement::CellComplex`] or the zero-copy
+    /// [`arrangement::GlobalComplexView`] (any [`ComplexRead`]
+    /// implementation; the two are index-identical, so the evaluator does
+    /// not depend on the representation).
+    pub fn from_complex<C: ComplexRead>(complex: &C) -> CellEvaluator {
         let face_count = complex.face_count();
         let exterior = complex.exterior_face().0;
         let mut dual = vec![BTreeSet::new(); face_count];
@@ -94,8 +99,8 @@ impl CellEvaluator {
         for e in complex.edge_ids() {
             let (l, r) = complex.edge_faces(e);
             edge_faces.push((l.0, r.0));
-            let ed = complex.edge(e);
-            edge_vertices.push((ed.tail.0, ed.head.0));
+            let (tail, head) = complex.edge_endpoints(e);
+            edge_vertices.push((tail.0, head.0));
             if l != r {
                 dual[l.0].insert(r.0);
                 dual[r.0].insert(l.0);
@@ -523,12 +528,12 @@ pub fn eval_on_instance(instance: &SpatialInstance, formula: &Formula) -> Result
 
 /// The set of faces of a complex labeled interior to *all* of the given
 /// regions (a helper used by example programs).
-pub fn common_faces(complex: &CellComplex, regions: &[&str]) -> FaceSet {
+pub fn common_faces<C: ComplexRead>(complex: &C, regions: &[&str]) -> FaceSet {
     let idxs: Vec<usize> =
         regions.iter().filter_map(|r| complex.region_index(r)).collect();
     complex
         .face_ids()
-        .filter(|f| idxs.iter().all(|&i| complex.face(*f).label[i] == Sign::Interior))
+        .filter(|&f| idxs.iter().all(|&i| complex.face_sign(f, i) == Sign::Interior))
         .map(|f| f.0)
         .collect()
 }

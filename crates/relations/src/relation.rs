@@ -1,7 +1,7 @@
 //! The eight 4-intersection (Egenhofer) relations between plane regions
 //! (Section 2 of the paper, Fig. 2), plus the finer 9-intersection matrix.
 
-use arrangement::{build_complex, CellComplex, Sign};
+use arrangement::{build_complex, build_complex_view, ComplexRead, Sign};
 use spatial_core::prelude::*;
 use std::fmt;
 
@@ -176,10 +176,11 @@ pub fn nine_matrix_between(a: &Region, b: &Region) -> NineIntersectionMatrix {
 }
 
 /// The 4-intersection relation between two named regions of an instance,
-/// read off the instance's cell complex. This realizes the reduction of
+/// read off the instance's cell complex (flat or zero-copy view — any
+/// [`ComplexRead`] implementation). This realizes the reduction of
 /// Corollary 3.7: the relation is a topological query, answerable from the
 /// invariant alone.
-pub fn relation_in_complex(complex: &CellComplex, a: &str, b: &str) -> Option<Relation4> {
+pub fn relation_in_complex<C: ComplexRead>(complex: &C, a: &str, b: &str) -> Option<Relation4> {
     matrix_in_complex(complex, a, b).and_then(|m| {
         Relation4::from_matrix(m).or_else(|| {
             panic!("unrealizable 4-intersection matrix computed: {m:?}")
@@ -188,7 +189,11 @@ pub fn relation_in_complex(complex: &CellComplex, a: &str, b: &str) -> Option<Re
 }
 
 /// The 4-intersection matrix between two named regions of a cell complex.
-pub fn matrix_in_complex(complex: &CellComplex, a: &str, b: &str) -> Option<FourIntersectionMatrix> {
+pub fn matrix_in_complex<C: ComplexRead>(
+    complex: &C,
+    a: &str,
+    b: &str,
+) -> Option<FourIntersectionMatrix> {
     let nine = nine_matrix_in_complex(complex, a, b)?;
     Some(FourIntersectionMatrix {
         interiors: nine.0[0][0],
@@ -199,8 +204,13 @@ pub fn matrix_in_complex(complex: &CellComplex, a: &str, b: &str) -> Option<Four
 }
 
 /// The 9-intersection matrix between two named regions of a cell complex.
-pub fn nine_matrix_in_complex(
-    complex: &CellComplex,
+///
+/// Reads only the two relevant signs of every cell (the
+/// [`ComplexRead::vertex_sign`]-family fast paths), so no label is
+/// materialized — on the zero-copy view this avoids widening any label at
+/// all.
+pub fn nine_matrix_in_complex<C: ComplexRead>(
+    complex: &C,
     a: &str,
     b: &str,
 ) -> Option<NineIntersectionMatrix> {
@@ -214,36 +224,33 @@ pub fn nine_matrix_in_complex(
         }
     };
     let mut m = [[false; 3]; 3];
-    let mut record = |label: &arrangement::Label| {
-        m[part(label[ia])][part(label[ib])] = true;
-    };
     for v in complex.vertex_ids() {
-        record(&complex.vertex(v).label);
+        m[part(complex.vertex_sign(v, ia))][part(complex.vertex_sign(v, ib))] = true;
     }
     for e in complex.edge_ids() {
-        record(&complex.edge(e).label);
+        m[part(complex.edge_sign(e, ia))][part(complex.edge_sign(e, ib))] = true;
     }
     for f in complex.face_ids() {
-        record(&complex.face(f).label);
+        m[part(complex.face_sign(f, ia))][part(complex.face_sign(f, ib))] = true;
     }
     Some(NineIntersectionMatrix(m))
 }
 
 /// All pairwise 4-intersection relations of an instance, in name order.
 ///
-/// Builds the instance's cell complex from scratch; callers that already
+/// Builds the instance's complex view from scratch; callers that already
 /// hold a complex (for example a caching facade) should use
 /// [`all_pairwise_relations_in_complex`] instead, which reuses it.
 pub fn all_pairwise_relations(inst: &SpatialInstance) -> Vec<(String, String, Relation4)> {
-    all_pairwise_relations_in_complex(&build_complex(inst))
+    all_pairwise_relations_in_complex(&build_complex_view(inst))
 }
 
 /// All pairwise 4-intersection relations read off an already-built cell
-/// complex, in region-name order. Zero-copy companion of
+/// complex (flat or view), in region-name order. Zero-copy companion of
 /// [`all_pairwise_relations`]: no arrangement is rebuilt, every pair is
 /// answered from the complex's cell labels alone (Corollary 3.7).
-pub fn all_pairwise_relations_in_complex(
-    complex: &CellComplex,
+pub fn all_pairwise_relations_in_complex<C: ComplexRead>(
+    complex: &C,
 ) -> Vec<(String, String, Relation4)> {
     let names = complex.region_names();
     let mut out = Vec::new();

@@ -47,7 +47,7 @@ pub use relations;
 pub use relstore;
 pub use spatial_core;
 
-use arrangement::{CellComplex, ComponentComplex};
+use arrangement::{CellComplex, ComponentComplex, GlobalComplexView};
 use invariant::Invariant;
 use query::cell_eval::CellEvaluator;
 use relations::Relation4;
@@ -107,9 +107,16 @@ impl std::error::Error for TopoDbError {}
 /// no longer occurs in the partition (merged or split by the update) are
 /// pruned after assembly.
 ///
-/// The cost of an update followed by a read is therefore `O(affected
-/// cluster)` re-sweeping plus an `O(total cells)` re-assembly, instead of a
-/// full `O((n + k) log n)` re-sweep of the whole map.
+/// The global complex is assembled *by view* ([`GlobalComplexView`]): the
+/// cached `Arc<ComponentComplex>`es are composed behind a compact id
+/// translation table in `O(components + cross-component nesting)`, with no
+/// per-cell copying. The cost of an update followed by a read is therefore
+/// `O(affected cluster)` re-sweeping plus an `O(components)` re-assembly —
+/// fully proportional to the affected cluster — instead of a full
+/// `O((n + k) log n)` re-sweep of the whole map. Cache-missing components
+/// are swept concurrently (`ARRANGEMENT_THREADS`, see
+/// [`arrangement::parallel`]), which parallelizes cold builds and widescale
+/// invalidations across the independent components.
 ///
 /// Two counters pin the behavior down: [`TopoDatabase::complex_build_count`]
 /// is the number of *assembled global complexes* built (any burst of reads
@@ -128,7 +135,13 @@ pub struct TopoDatabase {
 
 #[derive(Default)]
 struct Cache {
-    complex: Option<Arc<CellComplex>>,
+    /// The zero-copy global view — the primary read representation; every
+    /// derived structure (relations, queries, invariant) is computed from
+    /// it.
+    view: Option<Arc<GlobalComplexView>>,
+    /// The flat deep-copied complex, materialized lazily only when a caller
+    /// explicitly asks for it via [`TopoDatabase::cell_complex`].
+    flat: Option<Arc<CellComplex>>,
     invariant: Option<Arc<Invariant>>,
     /// Component sub-complexes surviving across updates, keyed by the
     /// component's sorted region-name set.
@@ -167,7 +180,8 @@ impl TopoDatabase {
     fn begin_epoch(&mut self, name: &str) {
         self.epoch.set(self.epoch.get() + 1);
         let cache = self.cache.get_mut();
-        cache.complex = None;
+        cache.view = None;
+        cache.flat = None;
         cache.invariant = None;
         cache.components.retain(|names, _| !names.iter().any(|n| n == name));
     }
@@ -192,56 +206,88 @@ impl TopoDatabase {
         self.instance.is_empty()
     }
 
-    /// Ensure the assembled complex is cached, re-sweeping only the
-    /// components invalidated since the last build.
-    fn ensure_complex(&self, cache: &mut Cache) {
-        if cache.complex.is_some() {
+    /// Ensure the assembled view is cached: re-partition, re-sweep only the
+    /// components invalidated since the last build (concurrently — they
+    /// share nothing), and assemble the zero-copy global view over them.
+    fn ensure_view(&self, cache: &mut Cache) {
+        if cache.view.is_some() {
             return;
         }
         let groups = arrangement::partition_instance(&self.instance);
         let names = self.instance.names();
-        let mut components: Vec<Arc<ComponentComplex>> = Vec::with_capacity(groups.len());
-        let mut live_keys: Vec<Vec<String>> = Vec::with_capacity(groups.len());
-        for group in &groups {
-            let key: Vec<String> =
-                group.region_indices.iter().map(|&i| names[i].to_string()).collect();
-            let component = match cache.components.get(&key) {
-                Some(hit) => Arc::clone(hit),
-                None => {
-                    self.component_rebuilds.set(self.component_rebuilds.get() + 1);
-                    let built = Arc::new(arrangement::build_group_component(&self.instance, group));
-                    cache.components.insert(key.clone(), Arc::clone(&built));
-                    built
-                }
-            };
-            components.push(component);
-            live_keys.push(key);
+        let keys: Vec<Vec<String>> = groups
+            .iter()
+            .map(|g| g.region_indices.iter().map(|&i| names[i].to_string()).collect())
+            .collect();
+        // Sweep every cache-missing component, in parallel: components are
+        // share-nothing work units, so a cold build (or a burst of misses
+        // after a widespread update) uses all configured threads, while the
+        // common one-miss incremental case takes the serial path.
+        let missing: Vec<usize> =
+            (0..groups.len()).filter(|&i| !cache.components.contains_key(&keys[i])).collect();
+        if !missing.is_empty() {
+            let threads = arrangement::parallel::configured_threads();
+            let instance = &self.instance;
+            let built = arrangement::parallel::map_indexed(missing.len(), threads, |j| {
+                Arc::new(arrangement::build_group_component(instance, &groups[missing[j]]))
+            });
+            self.component_rebuilds
+                .set(self.component_rebuilds.get() + missing.len() as u64);
+            for (j, component) in built.into_iter().enumerate() {
+                cache.components.insert(keys[missing[j]].clone(), component);
+            }
         }
+        let components: Vec<Arc<ComponentComplex>> =
+            keys.iter().map(|key| Arc::clone(&cache.components[key])).collect();
         // Prune entries whose component no longer exists (merged or split by
         // an update since they were built).
-        cache.components.retain(|key, _| live_keys.contains(key));
+        cache.components.retain(|key, _| keys.contains(key));
         let global_names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
         self.complex_builds.set(self.complex_builds.get() + 1);
-        cache.complex = Some(Arc::new(arrangement::assemble_components(global_names, &components)));
+        cache.view = Some(Arc::new(GlobalComplexView::new(global_names, components)));
     }
 
-    /// The cell complex of the current instance, computed on first use and
-    /// shared zero-copy: the returned [`Arc`] is a clone of the cache entry,
-    /// never a deep copy of the complex.
+    /// The zero-copy global complex view of the current instance — the
+    /// primary read representation, shared behind an [`Arc`].
+    ///
+    /// Assembling the view after an update costs `O(components +
+    /// cross-component nesting)` plus the re-sweep of the affected
+    /// cluster(s): untouched components are reused as shared
+    /// `Arc<ComponentComplex>` pointers with no per-cell copying. All
+    /// derived-structure computations accept it through
+    /// [`arrangement::ComplexRead`].
+    pub fn complex_view(&self) -> Arc<GlobalComplexView> {
+        let mut cache = self.cache.borrow_mut();
+        self.ensure_view(&mut cache);
+        Arc::clone(cache.view.as_ref().expect("view just computed"))
+    }
+
+    /// The flat cell complex of the current instance.
+    ///
+    /// This materializes (and caches) a deep copy of every cell out of the
+    /// component sub-complexes — `O(total cells)`. Prefer
+    /// [`TopoDatabase::complex_view`] unless a caller specifically needs the
+    /// flat [`CellComplex`] representation; all of this facade's own reads
+    /// (relations, queries, invariant) go through the view.
     pub fn cell_complex(&self) -> Arc<CellComplex> {
         let mut cache = self.cache.borrow_mut();
-        self.ensure_complex(&mut cache);
-        Arc::clone(cache.complex.as_ref().expect("complex just computed"))
+        self.ensure_view(&mut cache);
+        if cache.flat.is_none() {
+            let view = cache.view.as_ref().expect("view just ensured");
+            cache.flat = Some(Arc::new(view.to_cell_complex()));
+        }
+        Arc::clone(cache.flat.as_ref().expect("flat complex just computed"))
     }
 
     /// The topological invariant `T_I` of the current instance, shared
-    /// zero-copy like [`TopoDatabase::cell_complex`].
+    /// zero-copy like [`TopoDatabase::complex_view`]. Extracted from the
+    /// view (the flat complex is never materialized for this).
     pub fn invariant(&self) -> Arc<Invariant> {
         let mut cache = self.cache.borrow_mut();
         if cache.invariant.is_none() {
-            self.ensure_complex(&mut cache);
-            let complex = cache.complex.as_ref().expect("complex just ensured");
-            cache.invariant = Some(Arc::new(Invariant::from_complex(complex)));
+            self.ensure_view(&mut cache);
+            let view = cache.view.as_ref().expect("view just ensured");
+            cache.invariant = Some(Arc::new(Invariant::from_complex(view.as_ref())));
         }
         Arc::clone(cache.invariant.as_ref().expect("invariant just computed"))
     }
@@ -249,13 +295,13 @@ impl TopoDatabase {
     /// The cached component sub-complexes backing the current complex, as
     /// `(region names, component)` pairs in partition order.
     ///
-    /// Builds the complex if needed. The returned [`Arc`]s are clones of the
+    /// Builds the view if needed. The returned [`Arc`]s are clones of the
     /// cache entries: a component untouched by the updates between two calls
     /// is returned pointer-identical (`Arc::ptr_eq`), which is the
     /// observable guarantee of incremental maintenance.
     pub fn component_complexes(&self) -> Vec<(Vec<String>, Arc<ComponentComplex>)> {
         let mut cache = self.cache.borrow_mut();
-        self.ensure_complex(&mut cache);
+        self.ensure_view(&mut cache);
         cache.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
     }
 
@@ -296,22 +342,22 @@ impl TopoDatabase {
     }
 
     /// The 4-intersection relation between two named regions, answered from
-    /// the cached cell complex.
+    /// the cached complex view.
     pub fn relation(&self, a: &str, b: &str) -> Result<Relation4, TopoDbError> {
         for name in [a, b] {
             if self.instance.ext(name).is_none() {
                 return Err(TopoDbError::UnknownRegion(name.to_string()));
             }
         }
-        let complex = self.cell_complex();
-        relations::relation_in_complex(&complex, a, b)
+        let view = self.complex_view();
+        relations::relation_in_complex(view.as_ref(), a, b)
             .ok_or_else(|| TopoDbError::UnknownRegion(format!("{a} / {b}")))
     }
 
-    /// All pairwise relations, in name order, answered from the cached cell
-    /// complex — the arrangement is not rebuilt per call.
+    /// All pairwise relations, in name order, answered from the cached
+    /// complex view — the arrangement is not rebuilt per call.
     pub fn relation_matrix(&self) -> Vec<(String, String, Relation4)> {
-        relations::all_pairwise_relations_in_complex(&self.cell_complex())
+        relations::all_pairwise_relations_in_complex(self.complex_view().as_ref())
     }
 
     /// Is this database topologically equivalent (homeomorphic) to another?
@@ -332,7 +378,7 @@ impl TopoDatabase {
 
     /// Evaluate an already-parsed query.
     pub fn query_formula(&self, formula: &query::Formula) -> Result<bool, TopoDbError> {
-        let evaluator = CellEvaluator::from_complex(&self.cell_complex());
+        let evaluator = CellEvaluator::from_complex(self.complex_view().as_ref());
         evaluator.eval(formula).map_err(|e| TopoDbError::Eval(e.to_string()))
     }
 
@@ -343,15 +389,34 @@ impl TopoDatabase {
         invariant::validate(inv)
     }
 
-    /// A human-readable summary of the database and its derived structures.
+    /// A human-readable summary of the database and its derived structures:
+    /// region count, invariant cell counts, the interaction components
+    /// backing the complex with their per-component cell counts, and which
+    /// representation(s) of the global complex are currently cached (the
+    /// zero-copy view, plus the flat deep copy if a caller materialized
+    /// one).
     pub fn summary(&self) -> String {
         let inv = self.invariant();
+        let view = self.complex_view();
+        let per_component: Vec<String> = view
+            .component_cell_counts()
+            .iter()
+            .map(|(v, e, f)| format!("{}", v + e + f))
+            .collect();
+        let cached = if self.cache.borrow().flat.is_some() {
+            "view + flat copy"
+        } else {
+            "view"
+        };
         format!(
-            "{} region(s); invariant: {} vertices, {} edges, {} faces",
+            "{} region(s); invariant: {} vertices, {} edges, {} faces; {} component(s), cells per component: [{}]; cached complex: {}",
             self.len(),
             inv.vertex_count(),
             inv.edge_count(),
-            inv.face_count()
+            inv.face_count(),
+            view.component_count(),
+            per_component.join(", "),
+            cached
         )
     }
 }
@@ -423,6 +488,47 @@ mod tests {
         // for long-lived readers).
         assert_eq!(c1.region_names().len(), 2);
         assert_eq!(c3.region_names().len(), 3);
+    }
+
+    #[test]
+    fn summary_reports_components_and_cached_representation() {
+        let db = TopoDatabase::from_instance(fixtures::nested_three());
+        let s = db.summary();
+        // Component structure: nested_three partitions into 3 one-region
+        // components of 3 cells each (1 vertex + 1 loop edge + 1 bounded
+        // face).
+        assert!(s.contains("3 region(s)"), "{s}");
+        assert!(s.contains("3 component(s)"), "{s}");
+        assert!(s.contains("cells per component: [3, 3, 3]"), "{s}");
+        // Only the zero-copy view has been assembled so far.
+        assert!(s.contains("cached complex: view"), "{s}");
+        assert!(!s.contains("flat copy"), "{s}");
+        // Materializing the flat complex is reflected in the summary.
+        let _ = db.cell_complex();
+        let s2 = db.summary();
+        assert!(s2.contains("cached complex: view + flat copy"), "{s2}");
+    }
+
+    #[test]
+    fn view_reuses_untouched_components_pointer_identically() {
+        let mut db = TopoDatabase::from_instance(fixtures::nested_three());
+        let v1 = db.complex_view();
+        let v1b = db.complex_view();
+        assert!(Arc::ptr_eq(&v1, &v1b), "complex_view() must return the cached Arc");
+
+        // An update to a separated region re-assembles the view but reuses
+        // every untouched component allocation inside it.
+        db.insert("D", spatial_core::region::Region::rect_from_ints(500, 500, 504, 504));
+        let v2 = db.complex_view();
+        assert!(!Arc::ptr_eq(&v1, &v2), "update must produce a fresh view");
+        let before: Vec<_> = v1.components().to_vec();
+        let reused = v2
+            .components()
+            .iter()
+            .filter(|c| before.iter().any(|b| Arc::ptr_eq(b, c)))
+            .count();
+        assert_eq!(reused, before.len(), "all pre-update components are shared by the new view");
+        assert_eq!(v2.component_count(), before.len() + 1);
     }
 
     #[test]

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # Tracked perf trajectory for the arrangement benchmarks.
 #
-# Runs the splitting-phase scaling group (`splitting_sweep_vs_naive`) and the
-# incremental-maintenance group (`incremental_update`), merges their
+# Runs the splitting-phase scaling group (`splitting_sweep_vs_naive`), the
+# incremental-maintenance group (`incremental_update`) and the assembly
+# groups (`assemble_view_vs_copy`, `parallel_cold_build`), merges their
 # machine-readable records into one snapshot (default:
 # BENCH_arrangement.json at the repository root), and then compares the fresh
 # run against the previously committed snapshot:
 #
 #   * every benchmark present in both runs gets a printed delta;
-#   * a >25% slowdown in any `sweep/*` entry is a tracked regression and
-#     fails the script (exit non-zero);
-#   * the sweep must still beat the naive splitter, and the incremental
-#     update path must beat the full rebuild, at the largest sizes.
+#   * a >25% slowdown in any `sweep/*` or `assemble_view_vs_copy/view/*`
+#     entry is a tracked regression and fails the script (exit non-zero);
+#   * the sweep must still beat the naive splitter, the incremental update
+#     path must beat the full rebuild, and the zero-copy view assembly must
+#     beat the copying assembly, at the largest sizes;
+#   * on multi-core hosts, the parallel cold build on all threads must beat
+#     the single-thread build (skipped on single-core hosts, where no
+#     speedup is possible).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -39,20 +44,24 @@ fi
 
 scaling_json="$(mktemp)"
 incremental_json="$(mktemp)"
-trap 'rm -f "${scaling_json}" "${incremental_json}" ${baseline:+"${baseline}"}' EXIT
+assembly_json="$(mktemp)"
+trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" ${baseline:+"${baseline}"}' EXIT
 
 echo "running splitting_sweep_vs_naive scaling group" >&2
 BENCH_JSON="${scaling_json}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
 echo "running incremental_update group" >&2
 BENCH_JSON="${incremental_json}" cargo bench -p bench --bench incremental -- incremental_update
+echo "running assemble_view_vs_copy and parallel_cold_build groups" >&2
+BENCH_JSON="${assembly_json}" cargo bench -p bench --bench assembly
 
-# Merge the two JSON arrays (each file is one record per line between the
+# Merge the JSON arrays (each file is one record per line between the
 # bracket lines, so a line-level merge is exact).
 {
     echo "["
     {
         sed -e '1d' -e '$d' "${scaling_json}"
         sed -e '1d' -e '$d' "${incremental_json}"
+        sed -e '1d' -e '$d' "${assembly_json}"
     } | sed -e 's/},\{0,1\}$/},/' -e '$ s/},$/}/'
     echo "]"
 } > "${abs_out}"
@@ -94,8 +103,43 @@ if [ -n "${largest_inc}" ]; then
     fi
 fi
 
+# Sanity 3: zero-copy view assembly beats the copying assembly at the
+# largest component count.
+largest_asm=$({ grep -o '"id": "assemble_view_vs_copy/view/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_asm}" ]; then
+    view_ns=$(extract_ns "${out}" "assemble_view_vs_copy/view/${largest_asm}")
+    copy_ns=$(extract_ns "${out}" "assemble_view_vs_copy/copy/${largest_asm}")
+    speedup=$(awk -v v="${view_ns}" -v c="${copy_ns}" 'BEGIN { printf "%.2f", c / v }')
+    echo "view assembly at ${largest_asm} components: ${view_ns} ns vs copy ${copy_ns} ns (${speedup}x)" >&2
+    if [ "$(awk -v v="${view_ns}" -v c="${copy_ns}" 'BEGIN { print (v < c) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: view assembly did not beat the copying assembly at ${largest_asm} components" >&2
+        exit 1
+    fi
+fi
+
+# Sanity 4: the parallel cold build shows a measurable (>= 1.05x) speedup
+# over the serial one — only meaningful on multi-core hosts; on a
+# single-core host the extra-thread series measure pool overhead instead,
+# so the gate is skipped there.
+cores=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -1 )
+largest_par=$({ grep -o '"id": "parallel_cold_build/threads1/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_par}" ] && [ "${cores}" -gt 1 ]; then
+    t1_ns=$(extract_ns "${out}" "parallel_cold_build/threads1/${largest_par}")
+    tmax_ns=$(extract_ns "${out}" "parallel_cold_build/threadsmax/${largest_par}")
+    speedup=$(awk -v a="${t1_ns}" -v b="${tmax_ns}" 'BEGIN { printf "%.2f", a / b }')
+    echo "parallel cold build at n=${largest_par}: 1 thread ${t1_ns} ns vs max threads ${tmax_ns} ns (${speedup}x on ${cores} cores)" >&2
+    if [ "$(awk -v a="${t1_ns}" -v b="${tmax_ns}" 'BEGIN { print (b * 1.05 < a) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: parallel cold build shows no measurable speedup over serial on a ${cores}-core host" >&2
+        exit 1
+    fi
+elif [ -n "${largest_par}" ]; then
+    echo "single-core host (${cores}): skipping the parallel cold-build speedup gate (series measure pool overhead here)" >&2
+fi
+
 # Perf trajectory: per-benchmark deltas against the committed snapshot; a
-# >25% slowdown in any sweep/* entry fails.
+# >25% slowdown in any sweep/* or assemble_view_vs_copy/view/* entry fails.
 if [ -n "${baseline}" ]; then
     echo "--- perf trajectory vs committed snapshot ---" >&2
     awk '
@@ -118,11 +162,12 @@ if [ -n "${baseline}" ]; then
                 if (!(id in old)) { printf "  %-55s %14.1f ns  (new)\n", id, new[id]; continue }
                 delta = (new[id] - old[id]) / old[id] * 100
                 flag = ""
-                if (index(id, "/sweep/") > 0 && delta > 25) { flag = "  REGRESSION"; regressions++ }
+                gated = index(id, "/sweep/") > 0 || index(id, "assemble_view_vs_copy/view/") > 0
+                if (gated && delta > 25) { flag = "  REGRESSION"; regressions++ }
                 printf "  %-55s %14.1f ns  (%+.1f%%)%s\n", id, new[id], delta, flag
             }
             if (regressions > 0) {
-                printf "error: %d sweep/* benchmark(s) regressed by more than 25%%\n", regressions
+                printf "error: %d gated benchmark(s) regressed by more than 25%%\n", regressions
                 exit 1
             }
         }
