@@ -1,5 +1,5 @@
 //! Assembly of per-component sub-complexes into the global
-//! [`CellComplex`](crate::CellComplex).
+//! [`CellComplex`].
 //!
 //! The [`crate::partition`] step guarantees that different components share
 //! no vertex or edge of the arrangement, so the global complex is the
@@ -21,7 +21,7 @@
 //!    face's label, resolved parents-before-children over the nesting forest.
 //!
 //! A [`ComponentComplex`] is immutable and shared behind an
-//! [`Arc`](std::sync::Arc) by the component cache in `topodb`: re-assembling
+//! `Arc` by the component cache in `topodb`: re-assembling
 //! after a localized update reuses every untouched component unchanged.
 //!
 //! [`assemble_components`] is the *copying* assembly: it materializes a flat
@@ -30,7 +30,7 @@
 //! performs steps 1–3 symbolically in `O(components + nesting)` and serves
 //! cells through the [`ComplexRead`](crate::ComplexRead) translation layer;
 //! both build on the same nesting computation
-//! ([`compute_component_nesting`]).
+//! (`compute_component_nesting`).
 
 use crate::builder::build_local;
 use crate::complex::CellComplex;

@@ -41,7 +41,7 @@ use std::sync::Arc;
 
 /// A zero-copy global cell complex over shared component sub-complexes.
 ///
-/// See the [module docs](self) for the representation. Obtain one from
+/// See the module docs for the representation. Obtain one from
 /// [`crate::build_complex_view`] (cold build) or assemble one directly from
 /// cached components with [`GlobalComplexView::new`].
 #[derive(Clone, Debug)]

@@ -79,9 +79,70 @@ fn incremental_update(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched-write claim of the transactional API: committing `k` inserts
+/// as one [`TopoDatabase::begin`] transaction costs one epoch bump and —
+/// at the read that follows — one global assembly plus one *parallel*
+/// re-sweep of the union of the affected clusters, whereas `k` bare
+/// `insert` calls each followed by a read pay `k` assemblies and `k`
+/// serialized one-cluster re-sweeps. Both series leave the database in the
+/// same state at the end of every iteration (the same `k` regions,
+/// alternating between two geometries so no sweep can ever be skipped);
+/// only the batching differs. Acceptance: `batch` beats `sequential` at the
+/// largest size (`scripts/bench_snapshot.sh` gates on it).
+fn batch_update(c: &mut Criterion) {
+    // Number of mutations per transaction, each targeting its own cluster.
+    const BATCH: usize = 8;
+    let mut group = c.benchmark_group("batch_update");
+    for n in TOTAL_REGIONS {
+        let inst = datagen::clustered_map(CLUSTERS, n / CLUSTERS, 1234);
+
+        let batch_region = |k: usize, flip: bool| {
+            let (ox, oy) = datagen::cluster_origin(k, CLUSTERS);
+            let span = datagen::CLUSTER_SPAN;
+            if flip {
+                Region::rect_from_ints(ox + 2, oy + 2, ox + span - 4, oy + span - 4)
+            } else {
+                Region::rect_from_ints(ox + 3, oy + 1, ox + span - 6, oy + span - 3)
+            }
+        };
+
+        // One transaction for the whole batch: one epoch, one read.
+        let mut db = TopoDatabase::from_instance(inst.clone());
+        let _ = db.complex_view();
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("batch", n), &(), |b, _| {
+            b.iter(|| {
+                flip = !flip;
+                let mut txn = db.begin();
+                for k in 0..BATCH {
+                    txn.insert(format!("U{k}"), batch_region(k, flip));
+                }
+                txn.commit();
+                black_box(db.complex_view())
+            })
+        });
+
+        // The same mutations as bare inserts, each followed by a read — the
+        // pre-transaction write path (k epochs, k assemblies).
+        let mut db = TopoDatabase::from_instance(inst.clone());
+        let _ = db.complex_view();
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("sequential", n), &(), |b, _| {
+            b.iter(|| {
+                flip = !flip;
+                for k in 0..BATCH {
+                    db.insert(format!("U{k}"), batch_region(k, flip));
+                    black_box(db.complex_view());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = incremental_update
+    targets = incremental_update, batch_update
 }
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 //!   equivalent iff their invariants are isomorphic (identity on region
 //!   names); plus the relaxed comparisons showing that the exterior face and
 //!   the orientation relation are both essential (Figs. 6 and 7).
-//! * [`validate`] — Theorem 3.8 / Lemma 3.9: deciding whether a candidate
+//! * [`validate`](mod@validate) — Theorem 3.8 / Lemma 3.9: deciding whether a candidate
 //!   structure is the invariant of some instance (labeled planar graphs).
 //! * [`thematic`] — Example 3.6 / Corollary 3.7: storing the invariant as a
 //!   classical relational database over the fixed schema `Th`.

@@ -159,6 +159,103 @@ impl Formula {
         }
     }
 
+    /// The free *name* variables of the formula, in first-occurrence order.
+    ///
+    /// A name variable is free when it occurs in a name term (either side of
+    /// `=`, or inside `ext(…)`) without an enclosing `existsname`/`forallname`
+    /// binder. Free name variables are what turns a formula into a
+    /// *set-returning* query: evaluators enumerate the satisfying assignments
+    /// of these variables over `names(I)` (see `cell_eval` and the
+    /// [`crate::prepared`] module).
+    pub fn free_name_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free_name_vars(&mut bound, &mut out);
+        out
+    }
+
+    fn collect_free_name_vars(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        let visit_term = |t: &NameTerm, bound: &[String], out: &mut Vec<String>| {
+            if let NameTerm::Var(v) = t {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        };
+        let visit_region = |e: &RegionExpr, bound: &[String], out: &mut Vec<String>| {
+            if let RegionExpr::Ext(t) = e {
+                visit_term(t, bound, out);
+            }
+        };
+        match self {
+            Formula::Rel(_, p, q) | Formula::Connect(p, q) | Formula::Subset(p, q) => {
+                visit_region(p, bound, out);
+                visit_region(q, bound, out);
+            }
+            Formula::NameEq(a, b) => {
+                visit_term(a, bound, out);
+                visit_term(b, bound, out);
+            }
+            Formula::Not(f) => f.collect_free_name_vars(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free_name_vars(bound, out);
+                }
+            }
+            Formula::ExistsRegion(_, f) | Formula::ForallRegion(_, f) => {
+                f.collect_free_name_vars(bound, out)
+            }
+            Formula::ExistsName(v, f) | Formula::ForallName(v, f) => {
+                bound.push(v.clone());
+                f.collect_free_name_vars(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// The free *region* variables of the formula, in first-occurrence order.
+    ///
+    /// A closed (evaluable) formula has none: region variables must be bound
+    /// by `exists`/`forall`. [`crate::prepared::PreparedQuery`] rejects
+    /// formulas with free region variables at compile time.
+    pub fn free_region_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free_region_vars(&mut bound, &mut out);
+        out
+    }
+
+    fn collect_free_region_vars(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        let visit = |e: &RegionExpr, bound: &[String], out: &mut Vec<String>| {
+            if let RegionExpr::Var(v) = e {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        };
+        match self {
+            Formula::Rel(_, p, q) | Formula::Connect(p, q) | Formula::Subset(p, q) => {
+                visit(p, bound, out);
+                visit(q, bound, out);
+            }
+            Formula::NameEq(..) => {}
+            Formula::Not(f) => f.collect_free_region_vars(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free_region_vars(bound, out);
+                }
+            }
+            Formula::ExistsRegion(v, f) | Formula::ForallRegion(v, f) => {
+                bound.push(v.clone());
+                f.collect_free_region_vars(bound, out);
+                bound.pop();
+            }
+            Formula::ExistsName(_, f) | Formula::ForallName(_, f) => {
+                f.collect_free_region_vars(bound, out)
+            }
+        }
+    }
+
     /// Rewrite `Subset` and the eight relation atoms into formulas that use
     /// only the primitive `connect`, following the definitions in Section 4
     /// of the paper. The resulting formula is logically equivalent over every

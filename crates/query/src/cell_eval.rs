@@ -24,6 +24,11 @@ use std::fmt;
 /// A region represented as the set of (bounded) faces it consists of.
 pub type FaceSet = BTreeSet<usize>;
 
+/// One satisfying assignment of a query's free name variables: variable →
+/// region name. Produced by [`CellEvaluator::eval_bindings`] and carried by
+/// `QueryOutput::Bindings` in the [`crate::prepared`] module.
+pub type Bindings = BTreeMap<String, String>;
+
 /// Errors raised during evaluation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum EvalError {
@@ -72,8 +77,11 @@ pub struct CellEvaluator {
     /// Named regions as face sets.
     named: BTreeMap<String, FaceSet>,
     /// All legitimate quantifier values (disc-like unions of bounded faces),
-    /// enumerated lazily on first use.
-    domain: std::cell::OnceCell<Result<Vec<FaceSet>, EvalError>>,
+    /// enumerated lazily on first use. A [`std::sync::OnceLock`] (not a
+    /// `Cell`-based cache) so the evaluator is `Sync` and can serve query
+    /// traffic from many threads at once — the `topodb::Snapshot` read path
+    /// shares one evaluator per snapshot.
+    domain: std::sync::OnceLock<Result<Vec<FaceSet>, EvalError>>,
     /// Cap on the number of candidate regions.
     domain_cap: usize,
 }
@@ -129,7 +137,7 @@ impl CellEvaluator {
             edge_vertices,
             vertex_faces,
             named,
-            domain: std::cell::OnceCell::new(),
+            domain: std::sync::OnceLock::new(),
             domain_cap: 100_000,
         }
     }
@@ -396,6 +404,55 @@ impl CellEvaluator {
         self.eval_inner(formula, &mut env)
     }
 
+    /// Evaluate a formula with free name variables as a *set-returning*
+    /// query: enumerate every assignment of the variables in `free` to region
+    /// names of the instance and return, in lexicographic assignment order,
+    /// the assignments under which the formula holds.
+    ///
+    /// `free` is typically `formula.free_name_vars()`; passing a variable the
+    /// formula does not mention is allowed (it ranges over all names and
+    /// multiplies the result rows), and passing a closed formula with
+    /// `free = []` returns either one empty row (the formula holds) or no
+    /// rows — the relational-algebra convention for 0-ary queries.
+    pub fn eval_bindings(
+        &self,
+        formula: &Formula,
+        free: &[String],
+    ) -> Result<Vec<Bindings>, EvalError> {
+        let names: Vec<String> = self.named.keys().cloned().collect();
+        let mut env = Environment::default();
+        let mut out = Vec::new();
+        self.eval_bindings_inner(formula, free, &names, &mut env, &mut out)?;
+        Ok(out)
+    }
+
+    fn eval_bindings_inner(
+        &self,
+        formula: &Formula,
+        free: &[String],
+        names: &[String],
+        env: &mut Environment,
+        out: &mut Vec<Bindings>,
+    ) -> Result<(), EvalError> {
+        match free.split_first() {
+            None => {
+                if self.eval_inner(formula, env)? {
+                    out.push(env.names.clone());
+                }
+                Ok(())
+            }
+            Some((var, rest)) => {
+                for name in names {
+                    env.names.insert(var.clone(), name.clone());
+                    let result = self.eval_bindings_inner(formula, rest, names, env, out);
+                    env.names.remove(var);
+                    result?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn resolve_name(&self, t: &NameTerm, env: &Environment) -> Result<String, EvalError> {
         match t {
             NameTerm::Const(c) => {
@@ -464,53 +521,81 @@ impl CellEvaluator {
                 }
                 Ok(false)
             }
-            Formula::ExistsRegion(v, f) => {
-                let domain = self.quantifier_domain()?.to_vec();
-                for value in domain {
-                    env.regions.insert(v.clone(), value);
-                    let holds = self.eval_inner(f, env)?;
-                    env.regions.remove(v);
-                    if holds {
-                        return Ok(true);
-                    }
+            Formula::ExistsRegion(v, f) => self.quantify_region(v, f, env, true),
+            Formula::ForallRegion(v, f) => self.quantify_region(v, f, env, false),
+            Formula::ExistsName(v, f) => self.quantify_name(v, f, env, true),
+            Formula::ForallName(v, f) => self.quantify_name(v, f, env, false),
+        }
+    }
+
+    /// Evaluate `body` with `var` bound to every quantifier-domain region in
+    /// turn, short-circuiting on the decisive value (`existential`: first
+    /// witness; otherwise first counterexample). Any outer binding of the
+    /// same variable name — a shadowed quantifier or a free variable being
+    /// enumerated by [`CellEvaluator::eval_bindings`] — is restored before
+    /// returning.
+    fn quantify_region(
+        &self,
+        var: &str,
+        body: &Formula,
+        env: &mut Environment,
+        existential: bool,
+    ) -> Result<bool, EvalError> {
+        let domain = self.quantifier_domain()?.to_vec();
+        let saved = env.regions.remove(var);
+        let mut result = Ok(!existential);
+        for value in domain {
+            env.regions.insert(var.to_string(), value);
+            match self.eval_inner(body, env) {
+                Ok(b) if b == existential => {
+                    result = Ok(existential);
+                    break;
                 }
-                Ok(false)
-            }
-            Formula::ForallRegion(v, f) => {
-                let domain = self.quantifier_domain()?.to_vec();
-                for value in domain {
-                    env.regions.insert(v.clone(), value);
-                    let holds = self.eval_inner(f, env)?;
-                    env.regions.remove(v);
-                    if !holds {
-                        return Ok(false);
-                    }
+                Ok(_) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
                 }
-                Ok(true)
-            }
-            Formula::ExistsName(v, f) => {
-                for name in self.named.keys().cloned().collect::<Vec<_>>() {
-                    env.names.insert(v.clone(), name);
-                    let holds = self.eval_inner(f, env)?;
-                    env.names.remove(v);
-                    if holds {
-                        return Ok(true);
-                    }
-                }
-                Ok(false)
-            }
-            Formula::ForallName(v, f) => {
-                for name in self.named.keys().cloned().collect::<Vec<_>>() {
-                    env.names.insert(v.clone(), name);
-                    let holds = self.eval_inner(f, env)?;
-                    env.names.remove(v);
-                    if !holds {
-                        return Ok(false);
-                    }
-                }
-                Ok(true)
             }
         }
+        env.regions.remove(var);
+        if let Some(outer) = saved {
+            env.regions.insert(var.to_string(), outer);
+        }
+        result
+    }
+
+    /// Name-variable counterpart of [`CellEvaluator::quantify_region`]: the
+    /// domain is `names(I)`, with the same shadow-restoring contract.
+    fn quantify_name(
+        &self,
+        var: &str,
+        body: &Formula,
+        env: &mut Environment,
+        existential: bool,
+    ) -> Result<bool, EvalError> {
+        let names: Vec<String> = self.named.keys().cloned().collect();
+        let saved = env.names.remove(var);
+        let mut result = Ok(!existential);
+        for name in names {
+            env.names.insert(var.to_string(), name);
+            match self.eval_inner(body, env) {
+                Ok(b) if b == existential => {
+                    result = Ok(existential);
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        env.names.remove(var);
+        if let Some(outer) = saved {
+            env.names.insert(var.to_string(), outer);
+        }
+        result
     }
 }
 
@@ -673,6 +758,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shadowed_quantifier_variables_are_restored() {
+        // The inner `exists r` shadows the outer `r`; the outer binding must
+        // be visible again in the conjunct evaluated after the inner
+        // quantifier returns.
+        let q = F::exists_region(
+            "r",
+            F::and(vec![
+                F::exists_region("r", F::subset(R::var("r"), R::named("B"))),
+                F::subset(R::var("r"), R::named("A")),
+            ]),
+        );
+        assert_eq!(eval_on_instance(&fixtures::fig_1c(), &q), Ok(true));
+        // Same for name variables.
+        let qn = F::exists_name(
+            "a",
+            F::and(vec![
+                F::exists_name("a", F::rel(Overlap, R::Ext(NameTerm::Var("a".into())), R::named("B"))),
+                F::rel(Overlap, R::Ext(NameTerm::Var("a".into())), R::named("B"))],
+            ),
+        );
+        assert_eq!(eval_on_instance(&fixtures::fig_1c(), &qn), Ok(true));
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //! * [`cell_eval`] — the tractable evaluator of the paper's Section 7:
 //!   region quantifiers range over disc-like unions of cells of the
 //!   instance's cell complex (this is what answers the paper's Example 4.1 /
-//!   4.2 separating queries);
+//!   4.2 separating queries); formulas with free name variables evaluate as
+//!   *set-returning* queries via [`CellEvaluator::eval_bindings`];
+//! * [`prepared`] — [`PreparedQuery`]: parse + free-variable analysis once,
+//!   run against any snapshot/complex many times, producing
+//!   [`QueryOutput::Bool`] for sentences and [`QueryOutput::Bindings`] for
+//!   open formulas;
 //! * [`thematic_eval`] — Corollary 3.7: answering the quantifier-free
 //!   fragment by first-order queries over the thematic relational database;
 //! * [`rect_eval`] — Theorem 6.4: effective evaluation of `FO(Rect, Rect)` by
@@ -44,9 +49,11 @@ pub mod complete;
 pub mod derived;
 pub mod parser;
 pub mod point_lang;
+pub mod prepared;
 pub mod rect_eval;
 pub mod thematic_eval;
 
 pub use ast::{Formula, NameTerm, Query, RegionExpr};
-pub use cell_eval::{eval_on_instance, CellEvaluator, EvalError};
+pub use cell_eval::{eval_on_instance, Bindings, CellEvaluator, EvalError};
 pub use parser::{parse, ParseError};
+pub use prepared::{PrepareError, PreparedQuery, QueryOutput};

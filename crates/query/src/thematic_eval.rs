@@ -94,6 +94,59 @@ pub fn eval_on_thematic(db: &Database, formula: &Formula) -> Result<bool, Themat
     Ok(relstore::fo::eval_sentence(db, &fo))
 }
 
+/// Evaluate a region-quantifier-free formula with free name variables as a
+/// set-returning query against a thematic database: translate once, then
+/// enumerate assignments of the variables in `free` over the `Regions`
+/// relation and keep the satisfying ones (rows in lexicographic order).
+///
+/// This is the thematic twin of `cell_eval::CellEvaluator::eval_bindings` —
+/// Corollary 3.7 extended from sentences to open formulas: the satisfying
+/// name assignments of a topological query are computable from `thematic(I)`
+/// alone.
+pub fn bindings_on_thematic(
+    db: &Database,
+    formula: &Formula,
+    free: &[String],
+) -> Result<Vec<crate::cell_eval::Bindings>, ThematicError> {
+    let fo = translate(formula)?;
+    let names: Vec<String> = db
+        .relation("Regions")
+        .map(|r| r.iter().filter_map(|t| t.first().and_then(|v| v.as_sym()).map(String::from)).collect())
+        .unwrap_or_default();
+    let mut out = Vec::new();
+    let mut assignment = relstore::fo::Assignment::new();
+    enumerate_bindings(db, &fo, free, &names, &mut assignment, &mut out);
+    Ok(out)
+}
+
+fn enumerate_bindings(
+    db: &Database,
+    fo: &Fo,
+    free: &[String],
+    names: &[String],
+    assignment: &mut relstore::fo::Assignment,
+    out: &mut Vec<crate::cell_eval::Bindings>,
+) {
+    match free.split_first() {
+        None => {
+            if relstore::fo::eval(db, fo, assignment) {
+                let row = assignment
+                    .iter()
+                    .filter_map(|(k, v)| v.as_sym().map(|s| (k.clone(), s.to_string())))
+                    .collect();
+                out.push(row);
+            }
+        }
+        Some((var, rest)) => {
+            for name in names {
+                assignment.insert(var.clone(), relstore::Value::sym(name.as_str()));
+                enumerate_bindings(db, fo, rest, names, assignment, out);
+                assignment.remove(var);
+            }
+        }
+    }
+}
+
 fn name_term(e: &RegionExpr) -> Result<Term, ThematicError> {
     match e {
         RegionExpr::Ext(t) => Ok(to_term(t)),

@@ -3,7 +3,7 @@
 //! Given `R(A, B)` and `R(B, C)`, the composition table lists which relations
 //! `R(A, C)` are possible. This is the (weak) composition table of RCC8 /
 //! the Egenhofer relations, the algebraic backbone of topological inference
-//! over the existential fragment of the paper's languages ([GPP95],
+//! over the existential fragment of the paper's languages (\[GPP95\],
 //! Section 6 of the paper).
 
 use crate::relation::Relation4;

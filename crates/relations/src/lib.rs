@@ -38,6 +38,6 @@ pub use network::{network_of_instance, ConstraintNetwork, Scenario};
 pub use relation::{
     all_pairwise_relations, all_pairwise_relations_in_complex, four_intersection_equivalent,
     matrix_between, matrix_in_complex, nine_matrix_between, nine_matrix_in_complex,
-    relation_between, relation_in_complex, FourIntersectionMatrix, NineIntersectionMatrix,
-    Relation4,
+    relation_between, relation_in_complex, relations_with_in_complex, FourIntersectionMatrix,
+    NineIntersectionMatrix, Relation4,
 };

@@ -1,6 +1,6 @@
 //! Topological constraint networks and their satisfiability.
 //!
-//! This implements the *topological inference* problem studied in [GPP95]
+//! This implements the *topological inference* problem studied in \[GPP95\]
 //! and referenced by the paper as the existential fragment of its
 //! region-based languages (Section 6): given variables standing for regions
 //! and, for some pairs, a set of admissible 4-intersection relations, decide
@@ -12,7 +12,7 @@
 //! RCC8 algebra over planar regions, refutation-complete for the purposes of
 //! the benchmark workloads used here; `DESIGN.md` documents the caveat that
 //! for disc-only interpretations the composition table is an over-
-//! approximation (exactly the subtlety [GPP95] investigates).
+//! approximation (exactly the subtlety \[GPP95\] investigates).
 
 use crate::composition::{compose_sets, RelationSet};
 use crate::relation::Relation4;

@@ -264,6 +264,31 @@ pub fn all_pairwise_relations_in_complex<C: ComplexRead>(
     out
 }
 
+/// One region's row of the relation matrix: the 4-intersection relation of
+/// `name` with every *other* region of the complex, in name order. `None` if
+/// `name` is not a region of the complex.
+///
+/// This is the accessor behind per-region serving ("how does X relate to
+/// everything?"): `O(regions)` relation classifications against the shared
+/// complex instead of materializing the full `O(regions²)` matrix.
+pub fn relations_with_in_complex<C: ComplexRead>(
+    complex: &C,
+    name: &str,
+) -> Option<Vec<(String, Relation4)>> {
+    complex.region_index(name)?;
+    let out = complex
+        .region_names()
+        .iter()
+        .filter(|other| other.as_str() != name)
+        .map(|other| {
+            let r = relation_in_complex(complex, name, other)
+                .expect("names come from the complex");
+            (other.clone(), r)
+        })
+        .collect();
+    Some(out)
+}
+
 /// Are two instances 4-intersection equivalent (same names, and every pair of
 /// regions stands in the same relation in both)? This is the equivalence the
 /// paper shows to be strictly coarser than topological equivalence (Fig. 1).

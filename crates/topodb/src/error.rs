@@ -1,0 +1,92 @@
+//! Error type of the facade.
+
+use std::fmt;
+
+/// Errors surfaced by the facade.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TopoDbError {
+    /// A region name was not found.
+    UnknownRegion(String),
+    /// The query text could not be parsed.
+    Parse {
+        /// Explanation of the failure, from `query::parser`.
+        message: String,
+        /// Byte offset in the query text at which the failure occurred
+        /// (`usize::MAX` when the input ended before the formula did), so
+        /// callers can point at the offending token.
+        position: usize,
+    },
+    /// Query evaluation failed.
+    Eval(String),
+}
+
+impl TopoDbError {
+    /// For parse errors, the byte offset of the offending token (`None` when
+    /// the failure was at end of input).
+    pub fn parse_position(&self) -> Option<usize> {
+        match self {
+            TopoDbError::Parse { position, .. } if *position != usize::MAX => Some(*position),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TopoDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoDbError::UnknownRegion(n) => write!(f, "unknown region `{n}`"),
+            TopoDbError::Parse { message, position } => {
+                if *position == usize::MAX {
+                    write!(f, "query parse error at end of input: {message}")
+                } else {
+                    write!(f, "query parse error at byte {position}: {message}")
+                }
+            }
+            TopoDbError::Eval(m) => write!(f, "query evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoDbError {}
+
+impl From<query::ParseError> for TopoDbError {
+    fn from(e: query::ParseError) -> TopoDbError {
+        TopoDbError::Parse { message: e.message, position: e.position }
+    }
+}
+
+impl From<query::PrepareError> for TopoDbError {
+    fn from(e: query::PrepareError) -> TopoDbError {
+        match e {
+            query::PrepareError::Parse(p) => p.into(),
+            query::PrepareError::FreeRegionVariable(_) => TopoDbError::Eval(e.to_string()),
+        }
+    }
+}
+
+impl From<query::EvalError> for TopoDbError {
+    fn from(e: query::EvalError) -> TopoDbError {
+        TopoDbError::Eval(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_carry_the_byte_position() {
+        let err = TopoDbError::from(query::parse("overlap(A, %)").unwrap_err());
+        let TopoDbError::Parse { position, .. } = &err else {
+            panic!("expected a parse error, got {err:?}")
+        };
+        assert_eq!(*position, 11, "position of the `%`");
+        assert_eq!(err.parse_position(), Some(11));
+        assert!(err.to_string().contains("at byte 11"), "{err}");
+
+        // Truncated input: the failure is at end of input.
+        let err = TopoDbError::from(query::parse("overlap(A,").unwrap_err());
+        assert_eq!(err.parse_position(), None);
+        assert!(err.to_string().contains("at end of input"), "{err}");
+    }
+}

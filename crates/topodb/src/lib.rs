@@ -4,21 +4,27 @@
 //! *"Topological Queries in Spatial Databases"* (Papadimitriou, Suciu, Vianu;
 //! PODS 1996 / JCSS 1999).
 //!
-//! [`TopoDatabase`] is the user-facing entry point. It stores named polygonal
-//! regions and exposes:
+//! [`TopoDatabase`] is the user-facing entry point, designed around a
+//! **read/write split**:
 //!
-//! * the 4-intersection (Egenhofer) relation between any two regions,
-//! * the topological invariant `T_I` (Section 3) and homeomorphism testing
-//!   against other databases (Theorem 3.4),
-//! * the thematic relational summary `thematic(I)` (Corollary 3.7),
-//! * region-based queries in the paper's `FO(Region, Region')` syntax,
-//!   evaluated over the cell complex (the tractable language of Section 7),
-//! * validation of externally supplied invariants (Theorem 3.8),
-//! * incremental maintenance of the derived structures across
-//!   `insert`/`remove`: the arrangement is built per interaction component
-//!   and cached component-wise, so an update re-sweeps only the components
-//!   whose geometry interacts with the changed region (see the
-//!   [`TopoDatabase`] docs for the component-cache/epoch semantics).
+//! * **Reads** go through an immutable [`Snapshot`]
+//!   ([`TopoDatabase::snapshot`]): an all-`Arc`, `Send + Sync`, cheap-to-clone
+//!   handle over one epoch of the database that owns the assembled zero-copy
+//!   complex view and answers 4-intersection relations, region-based
+//!   queries, the topological invariant `T_I` (Section 3), homeomorphism
+//!   tests (Theorem 3.4) and the thematic relational summary `thematic(I)`
+//!   (Corollary 3.7) — from any number of threads concurrently.
+//! * **Writes** go through a [`Transaction`] ([`TopoDatabase::begin`]):
+//!   any number of inserts/removals commit as **one** batch — one epoch
+//!   bump, one eviction of the affected cached components, and at the next
+//!   read one parallel re-sweep of only the union of affected components
+//!   plus one global assembly.
+//! * **Queries** compile once into a [`PreparedQuery`]
+//!   (`query::PreparedQuery::compile`) and run against any snapshot of any
+//!   epoch; formulas with free name variables are *set-returning* — they
+//!   yield [`QueryOutput::Bindings`], the satisfying name assignments, in
+//!   the paper's `FO(Region, Region')` syntax (Section 4, evaluated over the
+//!   cell complex as in Section 7).
 //!
 //! The individual crates (`spatial-core`, `arrangement`, `invariant`,
 //! `relations`, `relstore`, `query`) are re-exported for direct use.
@@ -26,15 +32,30 @@
 //! ## Example
 //!
 //! ```
-//! use topodb::TopoDatabase;
+//! use topodb::{QueryOutput, TopoDatabase};
+//! use topodb::query::PreparedQuery;
 //! use topodb::spatial_core::prelude::*;
 //!
 //! let mut db = TopoDatabase::new();
-//! db.insert("Lake", Region::polygon_from_ints(&[(0, 0), (8, 0), (8, 6), (0, 6)]).unwrap());
-//! db.insert("Park", Region::rect_from_ints(5, 2, 12, 9));
 //!
-//! assert_eq!(db.relation("Lake", "Park").unwrap().name(), "overlap");
-//! assert_eq!(db.query("exists r . subset(r, Lake) and subset(r, Park)"), Ok(true));
+//! // Write path: one transaction, one epoch bump for the whole batch.
+//! let mut txn = db.begin();
+//! txn.insert("Lake", Region::polygon_from_ints(&[(0, 0), (8, 0), (8, 6), (0, 6)]).unwrap());
+//! txn.insert("Park", Region::rect_from_ints(5, 2, 12, 9));
+//! txn.commit();
+//!
+//! // Read path: an immutable, Send + Sync snapshot.
+//! let snap = db.snapshot();
+//! assert_eq!(snap.relation("Lake", "Park").unwrap().name(), "overlap");
+//! assert_eq!(
+//!     snap.query("exists r . subset(r, Lake) and subset(r, Park)").unwrap(),
+//!     QueryOutput::Bool(true)
+//! );
+//!
+//! // Prepared, binding-producing query: which regions overlap the lake?
+//! let q = PreparedQuery::compile("overlap(ext(x), Lake)").unwrap();
+//! let rows = snap.evaluate(&q).unwrap();
+//! assert_eq!(rows.bindings().unwrap()[0]["x"], "Park");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,86 +68,82 @@ pub use relations;
 pub use relstore;
 pub use spatial_core;
 
+mod error;
+mod snapshot;
+mod transaction;
+
+pub use error::TopoDbError;
+pub use query::{PreparedQuery, QueryOutput};
+pub use snapshot::Snapshot;
+pub use transaction::{CommitSummary, Transaction};
+
 use arrangement::{CellComplex, ComponentComplex, GlobalComplexView};
 use invariant::Invariant;
-use query::cell_eval::CellEvaluator;
 use relations::Relation4;
 use spatial_core::instance::SpatialInstance;
 use spatial_core::region::Region;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::fmt;
 use std::sync::Arc;
-
-/// Errors surfaced by the facade.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum TopoDbError {
-    /// A region name was not found.
-    UnknownRegion(String),
-    /// The query text could not be parsed.
-    Parse(String),
-    /// Query evaluation failed.
-    Eval(String),
-}
-
-impl fmt::Display for TopoDbError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TopoDbError::UnknownRegion(n) => write!(f, "unknown region `{n}`"),
-            TopoDbError::Parse(m) => write!(f, "query parse error: {m}"),
-            TopoDbError::Eval(m) => write!(f, "query evaluation error: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for TopoDbError {}
 
 /// A topological spatial database: named regions plus the derived structures
 /// of the paper (cell complex, invariant, thematic relational summary),
 /// computed lazily, shared zero-copy behind [`Arc`]s, and maintained
 /// *incrementally* across updates.
 ///
-/// Accessors hand out clones of the cached `Arc`s — constant-time reference
-/// bumps, never deep copies — so query traffic between two updates pays for
-/// at most one arrangement construction, however many relation, query or
-/// invariant calls it makes.
+/// The public surface is split into a write path and a read path:
+///
+/// * [`TopoDatabase::begin`] opens a [`Transaction`]; buffered
+///   `insert`/`remove` operations commit as one batch with **one** epoch
+///   bump and one eviction of the union of affected components.
+/// * [`TopoDatabase::snapshot`] returns the [`Snapshot`] of the current
+///   epoch — an immutable, `Send + Sync`, cheaply clonable read handle that
+///   owns the assembled view and every derived read (relations, queries,
+///   invariant, thematic). Long-lived snapshots keep answering for their
+///   epoch after later commits (snapshot isolation for readers).
+///
+/// The inherent read methods ([`TopoDatabase::relation`],
+/// [`TopoDatabase::query`], [`TopoDatabase::invariant`], …) and the
+/// single-mutation [`TopoDatabase::insert`] / [`TopoDatabase::remove`] are
+/// retained as thin wrappers over those two paths for convenience and
+/// backward compatibility — new code should prefer snapshots and
+/// transactions.
 ///
 /// ## Component cache and epochs
 ///
 /// The arrangement is built by the partition → per-component sweep →
 /// assemble pipeline of the `arrangement` crate, and the database caches the
 /// per-component sub-complexes (`Arc<ComponentComplex>`) across updates,
-/// keyed by the component's region-name set. Every [`TopoDatabase::insert`]
-/// / [`TopoDatabase::remove`] starts a new *epoch*: it drops the assembled
-/// complex and invariant, eagerly evicts the cached components containing
-/// the changed region, and leaves every other component untouched. At the
-/// next read the instance is re-partitioned; components whose geometry now
-/// interacts with the changed region surface as groups with a *new* name-set
-/// key (a cache miss, so they are re-swept), while every unaffected group
-/// hits its cache entry and is reused pointer-identically. Entries whose key
-/// no longer occurs in the partition (merged or split by the update) are
-/// pruned after assembly.
+/// keyed by the component's region-name set. Every committed batch that
+/// changes at least one region starts a new *epoch*: it drops the cached
+/// snapshot and eagerly evicts the cached components containing any changed
+/// region, leaving every other component untouched. At the next read the
+/// instance is re-partitioned; components whose geometry now interacts with
+/// a changed region surface as groups with a *new* name-set key (a cache
+/// miss, so they are re-swept — concurrently, see
+/// [`arrangement::parallel`]), while every unaffected group hits its cache
+/// entry and is reused pointer-identically. Entries whose key no longer
+/// occurs in the partition (merged or split by the batch) are pruned after
+/// assembly. A batch of `k` mutations therefore costs *one* eviction pass
+/// and *one* re-assembly, not `k`.
 ///
 /// The global complex is assembled *by view* ([`GlobalComplexView`]): the
 /// cached `Arc<ComponentComplex>`es are composed behind a compact id
 /// translation table in `O(components + cross-component nesting)`, with no
-/// per-cell copying. The cost of an update followed by a read is therefore
-/// `O(affected cluster)` re-sweeping plus an `O(components)` re-assembly —
-/// fully proportional to the affected cluster — instead of a full
-/// `O((n + k) log n)` re-sweep of the whole map. Cache-missing components
-/// are swept concurrently (`ARRANGEMENT_THREADS`, see
-/// [`arrangement::parallel`]), which parallelizes cold builds and widescale
-/// invalidations across the independent components.
+/// per-cell copying. The cost of a commit followed by a read is therefore
+/// `O(affected clusters)` re-sweeping plus an `O(components)` re-assembly —
+/// fully proportional to the affected geometry — instead of a full
+/// `O((n + k) log n)` re-sweep of the whole map.
 ///
 /// Two counters pin the behavior down: [`TopoDatabase::complex_build_count`]
 /// is the number of *assembled global complexes* built (any burst of reads
-/// between two updates increases it by at most one), and
+/// between two commits increases it by at most one), and
 /// [`TopoDatabase::component_rebuild_count`] is the number of *component
 /// sub-complexes* swept from scratch — the part that incremental maintenance
 /// keeps proportional to the affected geometry rather than the map size.
 #[derive(Default)]
 pub struct TopoDatabase {
-    instance: SpatialInstance,
+    pub(crate) instance: SpatialInstance,
     cache: RefCell<Cache>,
     complex_builds: Cell<u64>,
     component_rebuilds: Cell<u64>,
@@ -135,14 +152,13 @@ pub struct TopoDatabase {
 
 #[derive(Default)]
 struct Cache {
-    /// The zero-copy global view — the primary read representation; every
-    /// derived structure (relations, queries, invariant) is computed from
-    /// it.
-    view: Option<Arc<GlobalComplexView>>,
+    /// The snapshot of the current epoch — the primary read representation;
+    /// it owns the zero-copy global view and lazily computes every derived
+    /// structure (relations, queries, invariant).
+    snapshot: Option<Snapshot>,
     /// The flat deep-copied complex, materialized lazily only when a caller
     /// explicitly asks for it via [`TopoDatabase::cell_complex`].
     flat: Option<Arc<CellComplex>>,
-    invariant: Option<Arc<Invariant>>,
     /// Component sub-complexes surviving across updates, keyed by the
     /// component's sorted region-name set.
     components: BTreeMap<Vec<String>, Arc<ComponentComplex>>,
@@ -159,32 +175,58 @@ impl TopoDatabase {
         TopoDatabase { instance, ..TopoDatabase::default() }
     }
 
-    /// Insert (or replace) a named region, starting a new epoch: the
-    /// assembled complex and invariant are dropped, but cached component
-    /// sub-complexes not containing `name` survive and are reused by the
-    /// next read unless the new geometry interacts with them.
-    pub fn insert<S: Into<String>>(&mut self, name: S, region: Region) {
-        let name = name.into();
-        self.instance.insert(name.clone(), region);
-        self.begin_epoch(&name);
+    // ---- write path -----------------------------------------------------
+
+    /// Open a write transaction. Buffer any number of
+    /// [`Transaction::insert`] / [`Transaction::remove`] operations, then
+    /// [`Transaction::commit`] them as one batch: one epoch bump, one
+    /// eviction of the union of affected components, one parallel re-sweep
+    /// at the next read.
+    pub fn begin(&mut self) -> Transaction<'_> {
+        Transaction::new(self)
     }
 
-    /// Remove a region, starting a new epoch (see [`TopoDatabase::insert`]).
+    /// Insert (or replace) a named region.
+    ///
+    /// Thin wrapper over a one-operation transaction, kept for convenience;
+    /// a loop of `insert` calls pays one epoch per call — batch them with
+    /// [`TopoDatabase::begin`] instead.
+    pub fn insert<S: Into<String>>(&mut self, name: S, region: Region) {
+        let mut txn = self.begin();
+        txn.insert(name, region);
+        txn.commit();
+    }
+
+    /// Remove a region, returning it if present.
+    ///
+    /// Removing a name that does not exist is a complete no-op: no epoch
+    /// bump, no component eviction. (Kept for convenience; implemented
+    /// directly rather than through [`TopoDatabase::begin`] only because a
+    /// buffered [`Transaction::remove`] cannot return the removed region —
+    /// the epoch/eviction semantics are identical to a one-operation
+    /// batch.)
     pub fn remove(&mut self, name: &str) -> Option<Region> {
         let out = self.instance.remove(name);
-        self.begin_epoch(name);
+        if out.is_some() {
+            self.invalidate(&[name]);
+        }
         out
     }
 
-    /// Invalidate the derived structures affected by a change to `name`.
-    fn begin_epoch(&mut self, name: &str) {
+    /// Invalidate the derived structures affected by a committed batch that
+    /// changed `names`: start a new epoch, drop the snapshot, and evict the
+    /// cached components containing any changed name.
+    pub(crate) fn invalidate<S: AsRef<str>>(&mut self, names: &[S]) {
         self.epoch.set(self.epoch.get() + 1);
         let cache = self.cache.get_mut();
-        cache.view = None;
+        cache.snapshot = None;
         cache.flat = None;
-        cache.invariant = None;
-        cache.components.retain(|names, _| !names.iter().any(|n| n == name));
+        cache
+            .components
+            .retain(|key, _| !key.iter().any(|n| names.iter().any(|c| c.as_ref() == n)));
     }
+
+    // ---- instance accessors ---------------------------------------------
 
     /// The underlying spatial instance.
     pub fn instance(&self) -> &SpatialInstance {
@@ -206,11 +248,14 @@ impl TopoDatabase {
         self.instance.is_empty()
     }
 
-    /// Ensure the assembled view is cached: re-partition, re-sweep only the
-    /// components invalidated since the last build (concurrently — they
-    /// share nothing), and assemble the zero-copy global view over them.
-    fn ensure_view(&self, cache: &mut Cache) {
-        if cache.view.is_some() {
+    // ---- read path ------------------------------------------------------
+
+    /// Ensure the snapshot of the current epoch is cached: re-partition,
+    /// re-sweep only the components invalidated since the last build
+    /// (concurrently — they share nothing), and assemble the zero-copy
+    /// global view over them.
+    fn ensure_snapshot(&self, cache: &mut Cache) {
+        if cache.snapshot.is_some() {
             return;
         }
         let groups = arrangement::partition_instance(&self.instance);
@@ -221,7 +266,7 @@ impl TopoDatabase {
             .collect();
         // Sweep every cache-missing component, in parallel: components are
         // share-nothing work units, so a cold build (or a burst of misses
-        // after a widespread update) uses all configured threads, while the
+        // after a committed batch) uses all configured threads, while the
         // common one-miss incremental case takes the serial path.
         let missing: Vec<usize> =
             (0..groups.len()).filter(|&i| !cache.components.contains_key(&keys[i])).collect();
@@ -244,52 +289,52 @@ impl TopoDatabase {
         cache.components.retain(|key, _| keys.contains(key));
         let global_names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
         self.complex_builds.set(self.complex_builds.get() + 1);
-        cache.view = Some(Arc::new(GlobalComplexView::new(global_names, components)));
+        let view = Arc::new(GlobalComplexView::new(global_names, components));
+        cache.snapshot = Some(Snapshot::new(self.epoch.get(), view));
     }
 
-    /// The zero-copy global complex view of the current instance — the
-    /// primary read representation, shared behind an [`Arc`].
+    /// The immutable [`Snapshot`] of the current epoch — the read half of
+    /// the facade.
     ///
-    /// Assembling the view after an update costs `O(components +
-    /// cross-component nesting)` plus the re-sweep of the affected
-    /// cluster(s): untouched components are reused as shared
-    /// `Arc<ComponentComplex>` pointers with no per-cell copying. All
-    /// derived-structure computations accept it through
-    /// [`arrangement::ComplexRead`].
-    pub fn complex_view(&self) -> Arc<GlobalComplexView> {
+    /// Builds (or reuses) the zero-copy global view, then hands out a clone
+    /// of the cached snapshot: a constant-time `Arc` bump. The snapshot is
+    /// `Send + Sync` and keeps answering for its epoch however many batches
+    /// are committed afterwards; call `snapshot()` again after a commit to
+    /// observe the new epoch.
+    pub fn snapshot(&self) -> Snapshot {
         let mut cache = self.cache.borrow_mut();
-        self.ensure_view(&mut cache);
-        Arc::clone(cache.view.as_ref().expect("view just computed"))
+        self.ensure_snapshot(&mut cache);
+        cache.snapshot.as_ref().expect("snapshot just ensured").clone()
+    }
+
+    /// The zero-copy global complex view of the current instance — shared
+    /// behind an [`Arc`]. Equivalent to `self.snapshot().complex_view()`.
+    pub fn complex_view(&self) -> Arc<GlobalComplexView> {
+        self.snapshot().complex_view()
     }
 
     /// The flat cell complex of the current instance.
     ///
     /// This materializes (and caches) a deep copy of every cell out of the
     /// component sub-complexes — `O(total cells)`. Prefer
-    /// [`TopoDatabase::complex_view`] unless a caller specifically needs the
-    /// flat [`CellComplex`] representation; all of this facade's own reads
-    /// (relations, queries, invariant) go through the view.
+    /// [`TopoDatabase::snapshot`] / [`TopoDatabase::complex_view`] unless a
+    /// caller specifically needs the flat [`CellComplex`] representation;
+    /// all of this facade's own reads go through the view.
     pub fn cell_complex(&self) -> Arc<CellComplex> {
         let mut cache = self.cache.borrow_mut();
-        self.ensure_view(&mut cache);
+        self.ensure_snapshot(&mut cache);
         if cache.flat.is_none() {
-            let view = cache.view.as_ref().expect("view just ensured");
-            cache.flat = Some(Arc::new(view.to_cell_complex()));
+            let snapshot = cache.snapshot.as_ref().expect("snapshot just ensured");
+            cache.flat = Some(Arc::new(snapshot.view_ref().to_cell_complex()));
         }
         Arc::clone(cache.flat.as_ref().expect("flat complex just computed"))
     }
 
     /// The topological invariant `T_I` of the current instance, shared
-    /// zero-copy like [`TopoDatabase::complex_view`]. Extracted from the
-    /// view (the flat complex is never materialized for this).
+    /// zero-copy. Thin wrapper over [`Snapshot::invariant`]; repeated calls
+    /// between two commits return the same [`Arc`].
     pub fn invariant(&self) -> Arc<Invariant> {
-        let mut cache = self.cache.borrow_mut();
-        if cache.invariant.is_none() {
-            self.ensure_view(&mut cache);
-            let view = cache.view.as_ref().expect("view just ensured");
-            cache.invariant = Some(Arc::new(Invariant::from_complex(view.as_ref())));
-        }
-        Arc::clone(cache.invariant.as_ref().expect("invariant just computed"))
+        self.snapshot().invariant()
     }
 
     /// The cached component sub-complexes backing the current complex, as
@@ -301,7 +346,7 @@ impl TopoDatabase {
     /// observable guarantee of incremental maintenance.
     pub fn component_complexes(&self) -> Vec<(Vec<String>, Arc<ComponentComplex>)> {
         let mut cache = self.cache.borrow_mut();
-        self.ensure_view(&mut cache);
+        self.ensure_snapshot(&mut cache);
         cache.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
     }
 
@@ -309,10 +354,9 @@ impl TopoDatabase {
     /// complex.
     ///
     /// Diagnostic for cache effectiveness: any sequence of reads between two
-    /// updates should increase this by at most one, whatever mix of
-    /// [`TopoDatabase::relation`], [`TopoDatabase::relation_matrix`],
-    /// [`TopoDatabase::query`], [`TopoDatabase::invariant`] or
-    /// [`TopoDatabase::thematic`] calls it makes.
+    /// commits should increase this by at most one, whatever mix of
+    /// snapshots, relations, queries or invariant calls it makes — and a
+    /// committed batch of `k` mutations still only adds one.
     pub fn complex_build_count(&self) -> u64 {
         self.complex_builds.get()
     }
@@ -320,44 +364,44 @@ impl TopoDatabase {
     /// How many component sub-complexes this database has swept from
     /// scratch.
     ///
-    /// Diagnostic for *incremental* cache effectiveness: an update followed
+    /// Diagnostic for *incremental* cache effectiveness: a commit followed
     /// by a read re-sweeps only the components whose geometry interacts with
-    /// the changed region — on a multi-cluster map this stays at a handful
-    /// per update while [`TopoDatabase::complex_build_count`] grows by one,
-    /// however large the rest of the map is.
+    /// the changed regions — on a multi-cluster map this stays proportional
+    /// to the batch while [`TopoDatabase::complex_build_count`] grows by
+    /// one, however large the rest of the map is.
     pub fn component_rebuild_count(&self) -> u64 {
         self.component_rebuilds.get()
     }
 
-    /// The current update epoch: the number of [`TopoDatabase::insert`] /
-    /// [`TopoDatabase::remove`] calls so far. Cached derived structures are
-    /// always consistent with the latest epoch at the time they are read.
+    /// The current update epoch: the number of *effective* committed batches
+    /// so far (single-mutation [`TopoDatabase::insert`] / successful
+    /// [`TopoDatabase::remove`] calls count as one-operation batches; a
+    /// commit that changes nothing does not advance the epoch). Cached
+    /// derived structures are always consistent with the latest epoch at the
+    /// time they are read; [`Snapshot::epoch`] records which epoch a
+    /// snapshot belongs to.
     pub fn update_epoch(&self) -> u64 {
         self.epoch.get()
     }
 
+    // ---- thin read wrappers (prefer Snapshot) ---------------------------
+
     /// The thematic relational database `thematic(I)` over the schema `Th`.
+    /// Thin wrapper over [`Snapshot::thematic`].
     pub fn thematic(&self) -> relstore::Database {
-        invariant::thematic::to_database(&self.invariant())
+        self.snapshot().thematic()
     }
 
-    /// The 4-intersection relation between two named regions, answered from
-    /// the cached complex view.
+    /// The 4-intersection relation between two named regions. Thin wrapper
+    /// over [`Snapshot::relation`].
     pub fn relation(&self, a: &str, b: &str) -> Result<Relation4, TopoDbError> {
-        for name in [a, b] {
-            if self.instance.ext(name).is_none() {
-                return Err(TopoDbError::UnknownRegion(name.to_string()));
-            }
-        }
-        let view = self.complex_view();
-        relations::relation_in_complex(view.as_ref(), a, b)
-            .ok_or_else(|| TopoDbError::UnknownRegion(format!("{a} / {b}")))
+        self.snapshot().relation(a, b)
     }
 
-    /// All pairwise relations, in name order, answered from the cached
-    /// complex view — the arrangement is not rebuilt per call.
+    /// All pairwise relations, in name order. Thin wrapper over
+    /// [`Snapshot::relation_matrix`].
     pub fn relation_matrix(&self) -> Vec<(String, String, Relation4)> {
-        relations::all_pairwise_relations_in_complex(self.complex_view().as_ref())
+        self.snapshot().relation_matrix()
     }
 
     /// Is this database topologically equivalent (homeomorphic) to another?
@@ -369,17 +413,31 @@ impl TopoDatabase {
         invariant::isomorphic(&self.invariant(), &other.invariant())
     }
 
-    /// Evaluate a region-based query given in the concrete syntax of the
-    /// `query` crate (quantifiers range over disc-like cell unions).
+    /// Evaluate a region-based query and collapse the answer to a `bool`.
+    ///
+    /// Thin wrapper over the snapshot read path: sentences return their
+    /// truth value; a formula with free name variables returns whether
+    /// *some* satisfying assignment exists (evaluated as the existential
+    /// closure, which stops at the first witness instead of enumerating
+    /// every row). Use [`Snapshot::query`] to obtain the bindings
+    /// themselves.
     pub fn query(&self, text: &str) -> Result<bool, TopoDbError> {
-        let formula = query::parse(text).map_err(|e| TopoDbError::Parse(e.to_string()))?;
-        self.query_formula(&formula)
+        self.query_prepared_bool(&PreparedQuery::compile(text)?)
     }
 
-    /// Evaluate an already-parsed query.
+    /// Evaluate an already-parsed query, collapsed to `bool` like
+    /// [`TopoDatabase::query`].
     pub fn query_formula(&self, formula: &query::Formula) -> Result<bool, TopoDbError> {
-        let evaluator = CellEvaluator::from_complex(self.complex_view().as_ref());
-        evaluator.eval(formula).map_err(|e| TopoDbError::Eval(e.to_string()))
+        self.query_prepared_bool(&PreparedQuery::from_formula(formula.clone())?)
+    }
+
+    fn query_prepared_bool(&self, prepared: &PreparedQuery) -> Result<bool, TopoDbError> {
+        if prepared.is_boolean() {
+            Ok(self.snapshot().evaluate(prepared)?.holds())
+        } else {
+            let closed = prepared.existential_closure();
+            self.snapshot().evaluator().eval(&closed).map_err(TopoDbError::from)
+        }
     }
 
     /// Validate the database's own invariant (always valid; exposed mainly so
@@ -396,8 +454,9 @@ impl TopoDatabase {
     /// zero-copy view, plus the flat deep copy if a caller materialized
     /// one).
     pub fn summary(&self) -> String {
-        let inv = self.invariant();
-        let view = self.complex_view();
+        let snapshot = self.snapshot();
+        let inv = snapshot.invariant();
+        let view = snapshot.complex_view();
         let per_component: Vec<String> = view
             .component_cell_counts()
             .iter()
@@ -453,6 +512,9 @@ mod tests {
         let d = TopoDatabase::from_instance(fixtures::fig_1d());
         assert!(a.homeomorphic_to(&b));
         assert!(!a.homeomorphic_to(&d));
+        // The same comparisons through snapshots.
+        assert!(a.snapshot().homeomorphic_to(&b.snapshot()));
+        assert!(!a.snapshot().homeomorphic_to(&d.snapshot()));
     }
 
     #[test]
@@ -469,13 +531,17 @@ mod tests {
         let inv1 = db.invariant();
         let _ = db.thematic();
         let _ = db.summary();
+        let snap = db.snapshot();
         assert_eq!(db.complex_build_count(), 1, "reads must reuse the cached complex");
+        assert_eq!(snap.epoch(), 0);
 
         // ...and hands out the same shared allocation, not deep copies.
         let c2 = db.cell_complex();
         assert!(Arc::ptr_eq(&c1, &c2), "cell_complex() must return the cached Arc");
         let inv2 = db.invariant();
         assert!(Arc::ptr_eq(&inv1, &inv2), "invariant() must return the cached Arc");
+        let inv3 = snap.invariant();
+        assert!(Arc::ptr_eq(&inv1, &inv3), "snapshot shares the database's invariant");
 
         // Updates invalidate: exactly one rebuild serves the next burst.
         db.insert("C", spatial_core::region::Region::rect_from_ints(20, 20, 24, 24));
@@ -488,6 +554,7 @@ mod tests {
         // for long-lived readers).
         assert_eq!(c1.region_names().len(), 2);
         assert_eq!(c3.region_names().len(), 3);
+        assert_eq!(snap.len(), 2, "pre-update snapshot still answers for its epoch");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Immutable, concurrently shareable read handles over one epoch of a
+//! [`TopoDatabase`](crate::TopoDatabase).
+
+use crate::TopoDbError;
+use arrangement::{ComplexRead, GlobalComplexView};
+use invariant::Invariant;
+use query::cell_eval::CellEvaluator;
+use query::{PreparedQuery, QueryOutput};
+use relations::Relation4;
+use std::sync::{Arc, OnceLock};
+
+/// An immutable snapshot of a [`TopoDatabase`](crate::TopoDatabase): the
+/// assembled zero-copy complex view of one epoch, plus every derived read
+/// path — relations, invariant, thematic database and query evaluation —
+/// computed lazily *inside the snapshot* and shared by all of its clones.
+///
+/// A snapshot is the read half of the facade's read/write split:
+///
+/// * **Cheap to obtain and clone.** [`TopoDatabase::snapshot`] hands out a
+///   clone of the cached snapshot (one `Arc` bump); cloning a snapshot is a
+///   second `Arc` bump. No cell, label or region is copied.
+/// * **`Send + Sync`.** All state is behind `Arc`s and [`OnceLock`]s, so one
+///   snapshot can serve query traffic from any number of threads at once —
+///   `thread::scope` readers over a shared `&Snapshot` are a compiling (and
+///   tested) program, which the `RefCell`-backed database itself is not.
+/// * **Epoch-stable.** A snapshot never observes later writes: a batch
+///   committed after [`TopoDatabase::snapshot`] leaves existing snapshots
+///   answering for their own epoch ([`Snapshot::epoch`]) while the next
+///   `snapshot()` call reflects the batch.
+///
+/// Query evaluation accepts both query strings ([`Snapshot::query`]) and
+/// pre-compiled [`PreparedQuery`]s ([`Snapshot::evaluate`]); results are
+/// [`QueryOutput::Bool`] for sentences and [`QueryOutput::Bindings`] (the
+/// satisfying name assignments) for formulas with free name variables. The
+/// first evaluation on a snapshot builds its [`CellEvaluator`] from the
+/// zero-copy view; later evaluations (from any thread, any clone) share it.
+///
+/// [`TopoDatabase::snapshot`]: crate::TopoDatabase::snapshot
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
+    epoch: u64,
+    view: Arc<GlobalComplexView>,
+    invariant: OnceLock<Arc<Invariant>>,
+    evaluator: OnceLock<Arc<CellEvaluator>>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(epoch: u64, view: Arc<GlobalComplexView>) -> Snapshot {
+        Snapshot {
+            inner: Arc::new(SnapshotInner {
+                epoch,
+                view,
+                invariant: OnceLock::new(),
+                evaluator: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The update epoch this snapshot was taken at (see
+    /// [`TopoDatabase::update_epoch`](crate::TopoDatabase::update_epoch)).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// Region names in canonical order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.view.region_names().to_vec()
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.inner.view.region_names().len()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The zero-copy global complex view backing this snapshot, shared
+    /// behind an [`Arc`].
+    pub fn complex_view(&self) -> Arc<GlobalComplexView> {
+        Arc::clone(&self.inner.view)
+    }
+
+    pub(crate) fn view_ref(&self) -> &GlobalComplexView {
+        &self.inner.view
+    }
+
+    /// The topological invariant `T_I` of this snapshot's instance, computed
+    /// on first use and shared by every clone of the snapshot.
+    pub fn invariant(&self) -> Arc<Invariant> {
+        Arc::clone(self.inner.invariant.get_or_init(|| {
+            Arc::new(Invariant::from_complex(self.inner.view.as_ref()))
+        }))
+    }
+
+    /// The thematic relational database `thematic(I)` over the schema `Th`.
+    pub fn thematic(&self) -> relstore::Database {
+        invariant::thematic::to_database(&self.invariant())
+    }
+
+    /// The 4-intersection relation between two named regions.
+    pub fn relation(&self, a: &str, b: &str) -> Result<Relation4, TopoDbError> {
+        for name in [a, b] {
+            if self.inner.view.region_index(name).is_none() {
+                return Err(TopoDbError::UnknownRegion(name.to_string()));
+            }
+        }
+        relations::relation_in_complex(self.inner.view.as_ref(), a, b)
+            .ok_or_else(|| TopoDbError::UnknownRegion(format!("{a} / {b}")))
+    }
+
+    /// All pairwise relations, in name order.
+    pub fn relation_matrix(&self) -> Vec<(String, String, Relation4)> {
+        relations::all_pairwise_relations_in_complex(self.inner.view.as_ref())
+    }
+
+    /// One region's row of the relation matrix: its relation to every other
+    /// region, in name order — `O(regions)` classifications instead of the
+    /// full `O(regions²)` matrix.
+    pub fn relations_of(&self, name: &str) -> Result<Vec<(String, Relation4)>, TopoDbError> {
+        relations::relations_with_in_complex(self.inner.view.as_ref(), name)
+            .ok_or_else(|| TopoDbError::UnknownRegion(name.to_string()))
+    }
+
+    /// Is this snapshot topologically equivalent (homeomorphic) to another?
+    /// Decided via invariant isomorphism (Theorem 3.4).
+    pub fn homeomorphic_to(&self, other: &Snapshot) -> bool {
+        if self.inner.view.region_names() != other.inner.view.region_names() {
+            return false;
+        }
+        invariant::isomorphic(&self.invariant(), &other.invariant())
+    }
+
+    /// The shared cell-complex query evaluator of this snapshot, built on
+    /// first use. Exposed so callers running many [`PreparedQuery`]s can
+    /// amortize even the `Arc` clone; `query`/`evaluate` use it internally.
+    pub fn evaluator(&self) -> Arc<CellEvaluator> {
+        Arc::clone(self.inner.evaluator.get_or_init(|| {
+            Arc::new(CellEvaluator::from_complex(self.inner.view.as_ref()))
+        }))
+    }
+
+    /// Parse and evaluate a query in the concrete syntax of the `query`
+    /// crate. Sentences return [`QueryOutput::Bool`]; formulas with free
+    /// name variables return [`QueryOutput::Bindings`] — the satisfying
+    /// assignments of those variables to region names.
+    ///
+    /// To run one query against many snapshots, compile it once with
+    /// [`PreparedQuery::compile`] and use [`Snapshot::evaluate`].
+    pub fn query(&self, text: &str) -> Result<QueryOutput, TopoDbError> {
+        self.evaluate(&PreparedQuery::compile(text)?)
+    }
+
+    /// Evaluate an already-parsed formula (see [`Snapshot::query`] for the
+    /// result shape).
+    pub fn query_formula(&self, formula: &query::Formula) -> Result<QueryOutput, TopoDbError> {
+        self.evaluate(&PreparedQuery::from_formula(formula.clone())?)
+    }
+
+    /// Run a pre-compiled query against this snapshot. The prepared plan
+    /// (AST + free-variable analysis) is reused across snapshots of any
+    /// epoch; the answer always reflects *this* snapshot's instance.
+    pub fn evaluate(&self, prepared: &PreparedQuery) -> Result<QueryOutput, TopoDbError> {
+        prepared.run_on(&self.evaluator()).map_err(TopoDbError::from)
+    }
+}

@@ -1,0 +1,121 @@
+//! The batched write path of the facade: transactions that coalesce any
+//! number of mutations into one epoch bump.
+
+use crate::TopoDatabase;
+use spatial_core::region::Region;
+
+/// A buffered mutation.
+enum Op {
+    Insert(String, Region),
+    Remove(String),
+}
+
+/// A write transaction on a [`TopoDatabase`], obtained from
+/// [`TopoDatabase::begin`].
+///
+/// Mutations are buffered in order and applied atomically (with respect to
+/// the database's derived structures) by [`Transaction::commit`]: however
+/// many regions the batch inserts, replaces or removes, the database starts
+/// **one** new epoch, evicts the cached components of the *union* of the
+/// changed names once, and the next read performs one re-partition, one
+/// parallel re-sweep of the affected components and one global assembly —
+/// instead of paying an eviction/re-assembly per mutation as a sequence of
+/// bare [`TopoDatabase::insert`] calls would.
+///
+/// A commit whose operations change nothing (removals of names that do not
+/// exist, replacements of a region by an identical one) is a no-op: no
+/// epoch bump, no eviction. Dropping a
+/// transaction without committing (or calling [`Transaction::rollback`])
+/// discards the buffered operations; the database is untouched, since
+/// nothing is applied before `commit`.
+///
+/// Snapshots taken before the commit keep answering for their own epoch;
+/// see [`crate::Snapshot`].
+///
+/// ```
+/// use topodb::TopoDatabase;
+/// use topodb::spatial_core::prelude::*;
+///
+/// let mut db = TopoDatabase::new();
+/// let mut txn = db.begin();
+/// txn.insert("A", Region::rect_from_ints(0, 0, 4, 4));
+/// txn.insert("B", Region::rect_from_ints(10, 0, 14, 4));
+/// txn.remove("Ghost"); // not present: contributes nothing
+/// let commit = txn.commit();
+/// assert_eq!(commit.epoch, 1);
+/// assert_eq!(commit.changed, ["A", "B"]);
+/// ```
+pub struct Transaction<'db> {
+    db: &'db mut TopoDatabase,
+    ops: Vec<Op>,
+}
+
+/// What a [`Transaction::commit`] did.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CommitSummary {
+    /// The database's update epoch after the commit. Equal to the pre-commit
+    /// epoch when the batch changed nothing, exactly one higher otherwise.
+    pub epoch: u64,
+    /// The names whose region membership or geometry actually changed, in
+    /// first-change order (a removal of an absent name does not appear).
+    pub changed: Vec<String>,
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(db: &'db mut TopoDatabase) -> Transaction<'db> {
+        Transaction { db, ops: Vec::new() }
+    }
+
+    /// Buffer an insert (or replacement) of a named region.
+    pub fn insert<S: Into<String>>(&mut self, name: S, region: Region) -> &mut Self {
+        self.ops.push(Op::Insert(name.into(), region));
+        self
+    }
+
+    /// Buffer a removal. Removing a name that does not exist at application
+    /// time is a no-op and does not count as a change.
+    pub fn remove<S: Into<String>>(&mut self, name: S) -> &mut Self {
+        self.ops.push(Op::Remove(name.into()));
+        self
+    }
+
+    /// Number of buffered operations.
+    pub fn pending_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Apply the buffered operations in order and start at most one new
+    /// epoch (none if nothing changed). Returns the resulting epoch and the
+    /// changed names.
+    pub fn commit(self) -> CommitSummary {
+        let mut changed: Vec<String> = Vec::new();
+        for op in self.ops {
+            match op {
+                Op::Insert(name, region) => {
+                    let replaced = self.db.instance.insert(name.clone(), region);
+                    // Replacing a region with an identical one changes
+                    // nothing (compare against the stored geometry; `insert`
+                    // consumed the new one).
+                    let unchanged = replaced.is_some()
+                        && self.db.instance.ext(&name) == replaced.as_ref();
+                    if !unchanged && !changed.contains(&name) {
+                        changed.push(name);
+                    }
+                }
+                Op::Remove(name) => {
+                    if self.db.instance.remove(&name).is_some() && !changed.contains(&name) {
+                        changed.push(name);
+                    }
+                }
+            }
+        }
+        if !changed.is_empty() {
+            self.db.invalidate(&changed);
+        }
+        CommitSummary { epoch: self.db.update_epoch(), changed }
+    }
+
+    /// Discard the buffered operations without touching the database.
+    /// (Equivalent to dropping the transaction; provided for explicitness.)
+    pub fn rollback(self) {}
+}

@@ -1,0 +1,271 @@
+//! Integration tests for the read/write split: immutable `Send + Sync`
+//! snapshots, batched transactions that coalesce mutations into one epoch,
+//! and prepared queries evaluated against snapshots of different epochs.
+
+use spatial_core::prelude::*;
+use std::sync::Arc;
+use topodb::query::PreparedQuery;
+use topodb::{QueryOutput, Snapshot, TopoDatabase};
+
+fn clustered_db(clusters: usize, per_cluster: usize) -> TopoDatabase {
+    TopoDatabase::from_instance(datagen::clustered_map(clusters, per_cluster, 4242))
+}
+
+/// Regression (bugfix): removing a nonexistent name must be a complete
+/// no-op — no epoch bump, no component eviction, no rebuild at the next
+/// read.
+#[test]
+fn remove_of_nonexistent_name_is_a_noop() {
+    let mut db = clustered_db(4, 3);
+    let _ = db.complex_view(); // warm all components
+    let epoch_before = db.update_epoch();
+    let builds_before = db.complex_build_count();
+    let rebuilds_before = db.component_rebuild_count();
+    let components_before = db.component_complexes();
+
+    assert_eq!(db.remove("NoSuchRegion"), None);
+
+    assert_eq!(db.update_epoch(), epoch_before, "no epoch bump for a no-op removal");
+    let v = db.complex_view();
+    assert_eq!(db.complex_build_count(), builds_before, "cached view survives");
+    assert_eq!(db.component_rebuild_count(), rebuilds_before, "no component re-swept");
+    drop(v);
+    // Every cached component is still the same allocation.
+    let components_after = db.component_complexes();
+    assert_eq!(components_before.len(), components_after.len());
+    for ((k1, c1), (k2, c2)) in components_before.iter().zip(&components_after) {
+        assert_eq!(k1, k2);
+        assert!(Arc::ptr_eq(c1, c2), "component {k1:?} was evicted by a no-op removal");
+    }
+
+    // Same through a transaction: a batch whose ops all miss changes nothing.
+    let mut txn = db.begin();
+    txn.remove("Ghost1").remove("Ghost2");
+    let commit = txn.commit();
+    assert_eq!(commit.epoch, epoch_before);
+    assert!(commit.changed.is_empty());
+    assert_eq!(db.update_epoch(), epoch_before);
+}
+
+/// The acceptance scenario of the read/write split: a `k`-mutation batch
+/// commits with exactly one epoch bump; the next read performs exactly one
+/// global assembly and re-sweeps only the union of the affected components;
+/// a snapshot taken before the commit keeps answering for the old epoch.
+#[test]
+fn batch_commit_bumps_epoch_once_and_assembles_once() {
+    let clusters = 8usize;
+    let mut db = clustered_db(clusters, 3);
+    let pre = db.snapshot();
+    let epoch_before = db.update_epoch();
+    let builds_before = db.complex_build_count();
+    let rebuilds_before = db.component_rebuild_count();
+    let names_before = db.names().len();
+
+    // One batch touching clusters 0, 1 and 2: two inserts and one removal.
+    let victim = db
+        .names()
+        .iter()
+        .find(|n| n.starts_with("C002_"))
+        .expect("cluster 2 has regions")
+        .clone();
+    let mut txn = db.begin();
+    for (k, cluster) in [0usize, 1].iter().enumerate() {
+        let (ox, oy) = datagen::cluster_origin(*cluster, clusters);
+        let span = datagen::CLUSTER_SPAN;
+        txn.insert(
+            format!("Batch{k}"),
+            Region::rect_from_ints(ox + 1, oy + 1, ox + span - 2, oy + span - 2),
+        );
+    }
+    txn.remove(&victim);
+    assert_eq!(txn.pending_ops(), 3);
+    let commit = txn.commit();
+
+    assert_eq!(commit.epoch, epoch_before + 1, "one epoch bump for the whole batch");
+    assert_eq!(db.update_epoch(), epoch_before + 1);
+    assert_eq!(commit.changed, vec!["Batch0".to_string(), "Batch1".to_string(), victim]);
+
+    // One read after the batch: exactly one assembly, and only the affected
+    // clusters are re-swept (each of the three touched clusters contributes
+    // at most a few components after merging/splitting).
+    let post = db.snapshot();
+    assert_eq!(db.complex_build_count(), builds_before + 1, "one global assembly");
+    let resweeps = db.component_rebuild_count() - rebuilds_before;
+    assert!(
+        (1..=6).contains(&resweeps),
+        "only the union of affected clusters is re-swept, got {resweeps}"
+    );
+
+    // Epoch isolation: the old snapshot still answers for the old epoch.
+    assert_eq!(pre.epoch(), epoch_before);
+    assert_eq!(post.epoch(), epoch_before + 1);
+    assert_eq!(pre.len(), names_before);
+    assert_eq!(post.len(), names_before + 2 - 1);
+    assert!(pre.names().iter().any(|n| *n == *commit.changed[2]));
+    assert!(!post.names().iter().any(|n| *n == *commit.changed[2]));
+    assert!(pre.relation("Batch0", "Batch1").is_err(), "old epoch has no batch regions");
+    assert_eq!(
+        post.relation("Batch0", "Batch1").unwrap(),
+        topodb::relations::Relation4::Disjoint
+    );
+}
+
+/// One `PreparedQuery` evaluated against snapshots from two different epochs
+/// returns epoch-correct answers.
+#[test]
+fn prepared_query_reuse_across_epochs() {
+    let mut db = TopoDatabase::new();
+    let mut txn = db.begin();
+    txn.insert("A", Region::rect_from_ints(0, 0, 10, 10));
+    txn.insert("B", Region::rect_from_ints(2, 2, 6, 6));
+    txn.commit();
+
+    let inside_a = PreparedQuery::compile("inside(ext(x), A)").unwrap();
+    let has_overlap = PreparedQuery::compile("existsname a . overlap(ext(a), A)").unwrap();
+
+    let snap1 = db.snapshot();
+    // Epoch 2: C appears inside A, and D overlaps A.
+    let mut txn = db.begin();
+    txn.insert("C", Region::rect_from_ints(7, 7, 9, 9));
+    txn.insert("D", Region::rect_from_ints(8, 8, 14, 14));
+    txn.commit();
+    let snap2 = db.snapshot();
+
+    let rows1 = snap1.evaluate(&inside_a).unwrap();
+    let rows2 = snap2.evaluate(&inside_a).unwrap();
+    let xs = |out: &QueryOutput| -> Vec<String> {
+        out.bindings().unwrap().iter().map(|r| r["x"].clone()).collect()
+    };
+    assert_eq!(xs(&rows1), ["B"], "epoch-1 snapshot sees only B inside A");
+    assert_eq!(xs(&rows2), ["B", "C"], "epoch-2 snapshot sees the committed batch");
+
+    assert_eq!(snap1.evaluate(&has_overlap).unwrap(), QueryOutput::Bool(false));
+    assert_eq!(snap2.evaluate(&has_overlap).unwrap(), QueryOutput::Bool(true));
+}
+
+/// `Snapshot` is `Send + Sync`: queried concurrently from scoped threads
+/// over one shared reference, every thread sees the same epoch-consistent
+/// answers.
+#[test]
+fn snapshot_is_queried_from_four_threads() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>();
+
+    let db = TopoDatabase::from_instance(spatial_core::fixtures::nested_three());
+    let snap = db.snapshot();
+    let q = PreparedQuery::compile("inside(ext(x), A)").unwrap();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let snap = &snap;
+                let q = &q;
+                scope.spawn(move || {
+                    // Mix shared-evaluator prepared runs with ad-hoc parses.
+                    let rows = snap.evaluate(q).unwrap();
+                    let xs: Vec<String> =
+                        rows.bindings().unwrap().iter().map(|r| r["x"].clone()).collect();
+                    assert_eq!(xs, ["B", "C"], "thread {i}");
+                    assert_eq!(
+                        snap.query("contains(A, B) and inside(C, B)").unwrap(),
+                        QueryOutput::Bool(true),
+                        "thread {i}"
+                    );
+                    assert_eq!(snap.relation("A", "B").unwrap().name(), "contains");
+                    snap.invariant().face_count()
+                })
+            })
+            .collect();
+        let counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "all threads agree: {counts:?}");
+    });
+    // The concurrent burst shares one evaluator and one invariant.
+    assert!(Arc::ptr_eq(&snap.evaluator(), &snap.evaluator()));
+}
+
+/// `Snapshot::relations_of` returns one region's row of the relation
+/// matrix, consistent with the full matrix.
+#[test]
+fn relations_of_matches_the_relation_matrix() {
+    let db = TopoDatabase::from_instance(spatial_core::fixtures::nested_three());
+    let snap = db.snapshot();
+    let row = snap.relations_of("B").unwrap();
+    assert_eq!(row.len(), snap.len() - 1);
+    for (other, rel) in &row {
+        let direct = snap.relation("B", other).unwrap();
+        assert_eq!(*rel, direct, "B vs {other}");
+    }
+    assert!(snap.relations_of("Nope").is_err());
+}
+
+/// Rollback (explicit or by drop) leaves the database untouched.
+#[test]
+fn rollback_discards_buffered_operations() {
+    let mut db = TopoDatabase::new();
+    db.insert("A", Region::rect_from_ints(0, 0, 4, 4));
+    let epoch = db.update_epoch();
+
+    let mut txn = db.begin();
+    txn.insert("B", Region::rect_from_ints(10, 0, 14, 4));
+    txn.remove("A");
+    txn.rollback();
+    assert_eq!(db.names(), ["A"]);
+    assert_eq!(db.update_epoch(), epoch);
+
+    {
+        let mut txn = db.begin();
+        txn.insert("C", Region::rect_from_ints(20, 0, 24, 4));
+        // dropped without commit
+    }
+    assert_eq!(db.names(), ["A"]);
+    assert_eq!(db.update_epoch(), epoch);
+}
+
+/// Parse errors surfaced by the facade carry the byte position of the
+/// offending token.
+#[test]
+fn parse_errors_point_at_the_offending_token() {
+    let db = TopoDatabase::from_instance(spatial_core::fixtures::fig_1c());
+    let err = db.snapshot().query("overlap(A, B) %").unwrap_err();
+    assert_eq!(err.parse_position(), Some(14));
+    assert!(err.to_string().contains("at byte 14"), "{err}");
+    let err = db.query("overlap(A,").unwrap_err();
+    assert_eq!(err.parse_position(), None);
+    assert!(err.to_string().contains("at end of input"), "{err}");
+}
+
+/// Replacing a region with an identical one changes nothing: no epoch bump,
+/// no eviction.
+#[test]
+fn identical_replacement_is_a_noop() {
+    let mut db = TopoDatabase::new();
+    db.insert("A", Region::rect_from_ints(0, 0, 4, 4));
+    let _ = db.complex_view();
+    let epoch = db.update_epoch();
+    let builds = db.complex_build_count();
+
+    let mut txn = db.begin();
+    txn.insert("A", Region::rect_from_ints(0, 0, 4, 4));
+    let commit = txn.commit();
+    assert!(commit.changed.is_empty(), "identical geometry is not a change");
+    assert_eq!(commit.epoch, epoch);
+    let _ = db.complex_view();
+    assert_eq!(db.complex_build_count(), builds, "cached view survives");
+}
+
+/// A replacement insert inside a transaction counts the name once and the
+/// commit still coalesces into one epoch.
+#[test]
+fn replacement_and_duplicate_names_coalesce() {
+    let mut db = TopoDatabase::new();
+    db.insert("A", Region::rect_from_ints(0, 0, 4, 4));
+    let epoch = db.update_epoch();
+
+    let mut txn = db.begin();
+    txn.insert("A", Region::rect_from_ints(0, 0, 6, 6));
+    txn.insert("A", Region::rect_from_ints(0, 0, 8, 8));
+    txn.insert("B", Region::rect_from_ints(1, 1, 3, 3));
+    let commit = txn.commit();
+    assert_eq!(commit.changed, ["A", "B"]);
+    assert_eq!(commit.epoch, epoch + 1);
+    assert_eq!(db.snapshot().relation("B", "A").unwrap().name(), "inside");
+}

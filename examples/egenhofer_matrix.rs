@@ -4,12 +4,23 @@
 //!
 //! Run with: `cargo run --example egenhofer_matrix`
 
+use topodb::query::PreparedQuery;
 use topodb::relations::{compose, relation_between, Relation4, RelationSet};
 use topodb::spatial_core::fixtures;
+use topodb::TopoDatabase;
 
 fn main() {
     println!("The eight 4-intersection relations (paper Fig. 2):\n");
     println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "relation", "int/int", "bnd/bnd", "int/bnd", "bnd/int");
+    // One prepared query, compiled once, answers "which pairs (x, y) are in
+    // relation R?" on the snapshot of every witness instance.
+    let witness_queries: Vec<(Relation4, PreparedQuery)> = Relation4::ALL
+        .into_iter()
+        .map(|r| {
+            let q = PreparedQuery::compile(&format!("{}(ext(x), ext(y))", r.name())).unwrap();
+            (r, q)
+        })
+        .collect();
     for (name, inst) in fixtures::fig_2_pairs() {
         let a = inst.ext("A").unwrap();
         let b = inst.ext("B").unwrap();
@@ -24,6 +35,17 @@ fn main() {
             m.interior_a_boundary_b,
             m.boundary_a_interior_b
         );
+        // Cross-check against the cell-complex evaluator: on this witness
+        // pair, the binding-producing query for `rel` returns (A, B).
+        let snap = TopoDatabase::from_instance(inst).snapshot();
+        let (_, q) = witness_queries.iter().find(|(r, _)| *r == rel).unwrap();
+        let rows = snap.evaluate(q).unwrap();
+        let found = rows
+            .bindings()
+            .unwrap()
+            .iter()
+            .any(|row| row["x"] == "A" && row["y"] == "B");
+        assert!(found, "{name}: snapshot query agrees with the geometric relation");
     }
 
     println!("\nComposition (weak) of selected relation pairs:");

@@ -12,6 +12,7 @@
 //! Run with: `cargo run --example paper_figures`
 
 use topodb::invariant::{find_isomorphism, IsoOptions, Invariant};
+use topodb::query::PreparedQuery;
 use topodb::relations::four_intersection_equivalent;
 use topodb::spatial_core::fixtures;
 use topodb::TopoDatabase;
@@ -32,13 +33,27 @@ fn main() {
     println!(
         "1c ~4int~ 1d: {}   homeomorphic: {}",
         four_intersection_equivalent(fig1c.instance(), fig1d.instance()),
-        fig1c.homeomorphic_to(&fig1d)
+        fig1c.snapshot().homeomorphic_to(&fig1d.snapshot())
     );
-    let q41 = "exists r . subset(r, A) and subset(r, B) and subset(r, C)";
-    println!("Example 4.1 query on 1a: {:?}, on 1b: {:?}", fig1a.query(q41).unwrap(), fig1b.query(q41).unwrap());
-    let q42 = "forall r, s . (subset(r, A) and subset(r, B) and subset(s, A) and subset(s, B)) -> \
-               exists t . subset(t, A) and subset(t, B) and connect(t, r) and connect(t, s)";
-    println!("Example 4.2 query on 1c: {:?}, on 1d: {:?}", fig1c.query(q42).unwrap(), fig1d.query(q42).unwrap());
+    // The separating queries are compiled once and evaluated against the
+    // snapshot of each instance — the prepared-query idiom.
+    let q41 = PreparedQuery::compile("exists r . subset(r, A) and subset(r, B) and subset(r, C)")
+        .unwrap();
+    println!(
+        "Example 4.1 query on 1a: {}, on 1b: {}",
+        fig1a.snapshot().evaluate(&q41).unwrap(),
+        fig1b.snapshot().evaluate(&q41).unwrap()
+    );
+    let q42 = PreparedQuery::compile(
+        "forall r, s . (subset(r, A) and subset(r, B) and subset(s, A) and subset(s, B)) -> \
+         exists t . subset(t, A) and subset(t, B) and connect(t, r) and connect(t, s)",
+    )
+    .unwrap();
+    println!(
+        "Example 4.2 query on 1c: {}, on 1d: {}",
+        fig1c.snapshot().evaluate(&q42).unwrap(),
+        fig1d.snapshot().evaluate(&q42).unwrap()
+    );
 
     // ---- Fig. 5 / Examples 3.1, 3.3, 3.6 -----------------------------------
     println!("\n== Fig. 5: the invariant of Fig. 1c (Examples 3.1 / 3.3 / 3.6) ==");

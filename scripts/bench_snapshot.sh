@@ -2,8 +2,8 @@
 # Tracked perf trajectory for the arrangement benchmarks.
 #
 # Runs the splitting-phase scaling group (`splitting_sweep_vs_naive`), the
-# incremental-maintenance group (`incremental_update`) and the assembly
-# groups (`assemble_view_vs_copy`, `parallel_cold_build`), merges their
+# incremental-maintenance groups (`incremental_update`, `batch_update`) and
+# the assembly groups (`assemble_view_vs_copy`, `parallel_cold_build`), merges their
 # machine-readable records into one snapshot (default:
 # BENCH_arrangement.json at the repository root), and then compares the fresh
 # run against the previously committed snapshot:
@@ -12,7 +12,8 @@
 #   * a >25% slowdown in any `sweep/*` or `assemble_view_vs_copy/view/*`
 #     entry is a tracked regression and fails the script (exit non-zero);
 #   * the sweep must still beat the naive splitter, the incremental update
-#     path must beat the full rebuild, and the zero-copy view assembly must
+#     path must beat the full rebuild, a k-insert transaction must beat k
+#     sequential insert+read rounds, and the zero-copy view assembly must
 #     beat the copying assembly, at the largest sizes;
 #   * on multi-core hosts, the parallel cold build on all threads must beat
 #     the single-thread build (skipped on single-core hosts, where no
@@ -49,8 +50,8 @@ trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" ${baselin
 
 echo "running splitting_sweep_vs_naive scaling group" >&2
 BENCH_JSON="${scaling_json}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
-echo "running incremental_update group" >&2
-BENCH_JSON="${incremental_json}" cargo bench -p bench --bench incremental -- incremental_update
+echo "running incremental_update and batch_update groups" >&2
+BENCH_JSON="${incremental_json}" cargo bench -p bench --bench incremental
 echo "running assemble_view_vs_copy and parallel_cold_build groups" >&2
 BENCH_JSON="${assembly_json}" cargo bench -p bench --bench assembly
 
@@ -99,6 +100,21 @@ if [ -n "${largest_inc}" ]; then
     echo "incremental update at n=${largest_inc}: ${inc_ns} ns vs full rebuild ${full_ns} ns (${speedup}x)" >&2
     if [ "$(awk -v i="${inc_ns}" -v f="${full_ns}" 'BEGIN { print (i < f) ? "yes" : "no" }')" != "yes" ]; then
         echo "error: incremental update did not beat the full rebuild at n=${largest_inc}" >&2
+        exit 1
+    fi
+fi
+
+# Sanity 2b: a k-insert transaction followed by one read beats k sequential
+# insert+read rounds at the largest clustered size (the batched write path).
+largest_batch=$({ grep -o '"id": "batch_update/batch/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_batch}" ]; then
+    batch_ns=$(extract_ns "${out}" "batch_update/batch/${largest_batch}")
+    seq_ns=$(extract_ns "${out}" "batch_update/sequential/${largest_batch}")
+    speedup=$(awk -v b="${batch_ns}" -v s="${seq_ns}" 'BEGIN { printf "%.2f", s / b }')
+    echo "batch update at n=${largest_batch}: ${batch_ns} ns vs sequential ${seq_ns} ns (${speedup}x)" >&2
+    if [ "$(awk -v b="${batch_ns}" -v s="${seq_ns}" 'BEGIN { print (b < s) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: the batched transaction did not beat sequential inserts at n=${largest_batch}" >&2
         exit 1
     fi
 fi

@@ -37,6 +37,41 @@ fn e01_fig1_four_instances() {
     assert_eq!(dbd.query(q42), Ok(false));
 }
 
+/// E01b — Example 4.1 as a *set-returning* query: with the third region a
+/// free name variable, the prepared query returns exactly the names whose
+/// extent still admits a common witness with A and B — all three names on
+/// Fig. 1a, but not `C` on Fig. 1b. One `PreparedQuery`, compiled once,
+/// evaluated against snapshots of both instances.
+#[test]
+fn e01b_example_4_1_with_free_variable_bindings() {
+    use topodb::query::PreparedQuery;
+    use topodb::QueryOutput;
+
+    let q = PreparedQuery::compile("exists r . subset(r, A) and subset(r, B) and subset(r, ext(x))")
+        .unwrap();
+    assert_eq!(q.free_name_vars(), ["x"]);
+
+    let xs = |out: QueryOutput| -> Vec<String> {
+        out.bindings().unwrap().iter().map(|row| row["x"].clone()).collect()
+    };
+    let snap_a = TopoDatabase::from_instance(fixtures::fig_1a()).snapshot();
+    assert_eq!(
+        xs(snap_a.evaluate(&q).unwrap()),
+        ["A", "B", "C"],
+        "Fig. 1a: A ∩ B ∩ C is nonempty, so every extent hosts a witness"
+    );
+    let snap_b = TopoDatabase::from_instance(fixtures::fig_1b()).snapshot();
+    assert_eq!(
+        xs(snap_b.evaluate(&q).unwrap()),
+        ["A", "B"],
+        "Fig. 1b: the triple intersection is empty, so C drops out"
+    );
+
+    // The Boolean collapse of the same bindings agrees with Example 4.1.
+    assert!(snap_a.evaluate(&q).unwrap().holds());
+    assert!(snap_b.evaluate(&q).unwrap().holds());
+}
+
 /// E02 — Fig. 2: the eight 4-intersection relations are realized, computed,
 /// mutually exclusive and converse-consistent.
 #[test]

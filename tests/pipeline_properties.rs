@@ -60,6 +60,28 @@ proptest! {
         }
     }
 
+    /// The snapshot read path agrees with the direct geometric computation:
+    /// the binding rows of the set-returning `overlap(ext(x), ext(y))`
+    /// prepared query are exactly the overlapping pairs of the relation
+    /// matrix, and they are symmetric in x and y.
+    #[test]
+    fn snapshot_bindings_agree_with_relation_matrix(inst in small_instance()) {
+        use topodb::query::PreparedQuery;
+        let db = topodb::TopoDatabase::from_instance(inst.clone());
+        let snap = db.snapshot();
+        let q = PreparedQuery::compile("overlap(ext(x), ext(y))").unwrap();
+        let out = snap.evaluate(&q).unwrap();
+        let rows = out.bindings().unwrap();
+        for (a, b, r) in snap.relation_matrix() {
+            let ab = rows.iter().any(|row| row["x"] == a && row["y"] == b);
+            let ba = rows.iter().any(|row| row["x"] == b && row["y"] == a);
+            prop_assert_eq!(ab, r == topodb::relations::Relation4::Overlap);
+            prop_assert_eq!(ab, ba);
+        }
+        // No reflexive rows: a region relates to itself by `equal`.
+        prop_assert!(rows.iter().all(|row| row["x"] != row["y"]));
+    }
+
     /// The thematic database always contains the full schema and one
     /// RegionFaces fact per (region, face-of-region) pair.
     #[test]
