@@ -36,7 +36,7 @@ use crate::builder::build_local;
 use crate::complex::CellComplex;
 use crate::geometry::point_in_closed_polyline;
 use crate::partition::{BBox, ComponentGroup};
-use crate::split::{split_segments, TaggedSegment};
+use crate::split::TaggedSegment;
 use crate::types::*;
 use spatial_core::prelude::*;
 use std::sync::Arc;
@@ -85,15 +85,36 @@ impl ComponentComplex {
 
 /// Build the sub-complex of one component from its tagged boundary segments
 /// (`region` tags index `region_names`).
+///
+/// The splitting phase routes through the x-strip parallel sweep for large
+/// components and the monolithic sweep for small ones
+/// ([`crate::strip::split_segments_auto`]); the two are output-identical, so
+/// the resulting complex does not depend on the routing. Uses the full
+/// configured thread count as the strip budget — callers already fanning
+/// out over components should use [`build_component_complex_budgeted`].
 pub fn build_component_complex(
     region_names: Vec<String>,
     segments: &[TaggedSegment],
+) -> ComponentComplex {
+    build_component_complex_budgeted(region_names, segments, crate::parallel::configured_threads())
+}
+
+/// Like [`build_component_complex`], with an explicit strip budget (see
+/// [`crate::strip::split_segments_auto_budgeted`]): the thread count this
+/// one component build may spend on its own strip decomposition. Parallel
+/// component pipelines pass [`crate::strip::strip_budget`] of their fan-out
+/// so nested strip × component parallelism stays at roughly the configured
+/// thread count. The output is identical for every budget.
+pub fn build_component_complex_budgeted(
+    region_names: Vec<String>,
+    segments: &[TaggedSegment],
+    strip_budget: usize,
 ) -> ComponentComplex {
     let bbox = segments
         .iter()
         .map(|t| BBox::of_segment(&t.segment))
         .reduce(|a, b| a.union(&b));
-    let subs = split_segments(segments);
+    let subs = crate::strip::split_segments_auto_budgeted(segments, strip_budget);
     let (complex, bounded_cycles) = build_local(region_names, &subs);
     let rep_point = complex.vertices.first().map(|v| v.point);
     ComponentComplex { complex, bounded_cycles, bbox, rep_point }
@@ -103,6 +124,16 @@ pub fn build_component_complex(
 pub fn build_group_component(
     instance: &SpatialInstance,
     group: &ComponentGroup,
+) -> ComponentComplex {
+    build_group_component_budgeted(instance, group, crate::parallel::configured_threads())
+}
+
+/// Like [`build_group_component`], with an explicit strip budget (see
+/// [`build_component_complex_budgeted`]).
+pub fn build_group_component_budgeted(
+    instance: &SpatialInstance,
+    group: &ComponentGroup,
+    strip_budget: usize,
 ) -> ComponentComplex {
     let names = instance.names();
     let mut local_names = Vec::with_capacity(group.region_indices.len());
@@ -115,7 +146,7 @@ pub fn build_group_component(
             segments.push(TaggedSegment { segment, region: local });
         }
     }
-    build_component_complex(local_names, &segments)
+    build_component_complex_budgeted(local_names, &segments, strip_budget)
 }
 
 /// Overwrite the positions of a component's own regions in an inherited

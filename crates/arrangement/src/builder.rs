@@ -11,10 +11,13 @@
 //!    module ([`build_local`] via
 //!    [`crate::assemble::build_group_component`]): its segments are split at
 //!    their mutual intersections by the Bentley–Ottmann plane sweep of
-//!    [`crate::sweep`], merged into maximal 1-cells, the faces extracted
-//!    from the combinatorial embedding, same-component disconnected
-//!    skeletons nested into the faces that contain them, and every cell
-//!    labeled by exact combinatorial propagation from the unbounded face;
+//!    [`crate::sweep`] — decomposed into concurrent x-strips for large
+//!    components, monolithic for small ones
+//!    ([`crate::strip::split_segments_auto`]) — merged into maximal 1-cells,
+//!    the faces extracted from the combinatorial embedding, same-component
+//!    disconnected skeletons nested into the faces that contain them, and
+//!    every cell labeled by exact combinatorial propagation from the
+//!    unbounded face;
 //! 3. [`crate::assemble`] stitches the component complexes into the global
 //!    complex (cross-component nesting, exterior-face unification, label
 //!    widening).
@@ -23,7 +26,7 @@
 //! construction as a differential-testing oracle: both paths must produce
 //! isomorphic complexes on every input.
 
-use crate::assemble::{assemble_components, build_group_component, BoundedCycle, ComponentComplex};
+use crate::assemble::{assemble_components, BoundedCycle, ComponentComplex};
 use crate::complex::CellComplex;
 use crate::geometry::{closed_polyline_area_doubled, interior_point_of_simple_cycle, point_in_closed_polyline};
 use crate::parallel::{configured_threads, map_indexed};
@@ -61,13 +64,23 @@ pub fn build_complex_view(instance: &SpatialInstance) -> GlobalComplexView {
 /// `threads` worker threads ([`crate::parallel::map_indexed`]). Components
 /// are returned in partition order regardless of the thread count, so both
 /// assembly paths produce identical output for every `threads` value.
+///
+/// Each component build receives an even share of the thread budget for its
+/// own x-strip decomposition ([`crate::strip::strip_budget`]): a lone big
+/// component strips on all `threads`, while a many-component map leaves the
+/// parallelism at the component level instead of multiplying the two.
 pub fn build_component_complexes(
     instance: &SpatialInstance,
     threads: usize,
 ) -> Vec<Arc<ComponentComplex>> {
     let groups = partition_instance(instance);
+    let strip_budget = crate::strip::strip_budget(groups.len(), threads);
     map_indexed(groups.len(), threads, |i| {
-        Arc::new(build_group_component(instance, &groups[i]))
+        Arc::new(crate::assemble::build_group_component_budgeted(
+            instance,
+            &groups[i],
+            strip_budget,
+        ))
     })
 }
 

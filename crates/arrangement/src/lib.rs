@@ -40,9 +40,11 @@
 //!    are swept **concurrently** on the small std-only worker pool of
 //!    [`parallel`] (thread count from `ARRANGEMENT_THREADS`, default =
 //!    available parallelism; the output is identical for every thread
-//!    count). The result is an immutable [`ComponentComplex`], shareable
-//!    behind an `Arc` so callers (the `topodb` component cache) can reuse
-//!    untouched components across updates.
+//!    count). Inside a large component, the splitting phase is further
+//!    decomposed into concurrent x-strips ([`strip`]). The result is an
+//!    immutable [`ComponentComplex`], shareable behind an `Arc` so callers
+//!    (the `topodb` component cache) can reuse untouched components across
+//!    updates.
 //! 3. **Assemble**: the component complexes are composed into the global
 //!    complex — components strictly nested inside a face of another
 //!    component are embedded there (their local exterior face is unified
@@ -64,6 +66,41 @@
 //! only requires re-sweeping that cluster plus an `O(components)`
 //! re-assembly of the view — update→read latency is proportional to the
 //! affected cluster, however large the rest of the map is.
+//!
+//! ## Parallelism model
+//!
+//! Construction exploits two orthogonal levels of parallelism, both fed by
+//! the same [`parallel`] worker pool:
+//!
+//! * **Component-level** (between components): interaction components share
+//!   no vertex or edge, so their sub-complexes are swept as share-nothing
+//!   work items. This is the right lever for *wide* maps (many clusters,
+//!   `datagen::wide_map` / `clustered_map`) and costs nothing in
+//!   coordination — but it is bounded by the component count: a dense map
+//!   that forms one big component offers a single work item.
+//! * **Strip-level** (inside a component, [`strip`]): the splitting phase of
+//!   one component's sweep is decomposed into vertical x-strips at exact
+//!   rational seam abscissas chosen from the endpoint distribution; the
+//!   strips are swept concurrently and their cut sets stitched back
+//!   together with exact seam reconciliation. This is the lever for
+//!   *dense single-blob* maps (`datagen::dense_overlap_map`,
+//!   `jittered_overlap_map`), where it is the only available parallelism.
+//!   Components below [`strip::STRIP_MIN_SEGMENTS`] segments sweep
+//!   monolithically — their parallelism, if any, comes from the component
+//!   level. The two levels share one thread budget
+//!   ([`strip::strip_budget`]): a lone big component strips on every
+//!   configured thread, a many-component map keeps the parallelism at the
+//!   component level, and mixed maps split the budget evenly rather than
+//!   multiplying the two fan-outs.
+//!
+//! **Determinism guarantee:** neither level affects the output — the strip
+//! decomposition produces *identical* cut sets (and therefore identical
+//! sub-segments, cells and fingerprints) to the monolithic sweep, and the
+//! component pool returns results in input order — so the constructed
+//! complex is byte-for-byte the same for every
+//! `ARRANGEMENT_THREADS` × `ARRANGEMENT_STRIPS` combination, on every
+//! machine. `tests/thread_determinism.rs` and
+//! `tests/strip_differential.rs` pin this.
 //!
 //! Two oracles guard the pipeline: the original all-pairs splitter (`O(n^2)`
 //! exact intersection tests) is retained in [`split`] as the sweep's
@@ -98,11 +135,15 @@ mod geometry;
 pub mod parallel;
 pub mod partition;
 pub mod split;
+pub mod strip;
 pub mod sweep;
 mod types;
 mod view;
 
-pub use assemble::{assemble_components, build_component_complex, build_group_component, ComponentComplex};
+pub use assemble::{
+    assemble_components, build_component_complex, build_component_complex_budgeted,
+    build_group_component, build_group_component_budgeted, ComponentComplex,
+};
 pub use builder::{
     build_complex, build_complex_monolithic, build_complex_view, build_component_complexes,
 };

@@ -4,10 +4,12 @@
 //! their sub-complexes can be swept on separate threads with no
 //! synchronization beyond work distribution. This module provides the small
 //! [`std::thread::scope`]-based pool used by [`crate::build_complex`] /
-//! [`crate::build_component_complexes`] and by the `topodb` component cache:
-//! no external thread-pool crate is needed (the build environment is
-//! offline), and results are returned **in input order** regardless of the
-//! thread count, so construction output is deterministic.
+//! [`crate::build_component_complexes`], by the `topodb` component cache,
+//! and by the x-strip decomposition of [`crate::strip`] (whose share-nothing
+//! work items are vertical strips of one component's sweep rather than whole
+//! components): no external thread-pool crate is needed (the build
+//! environment is offline), and results are returned **in input order**
+//! regardless of the thread count, so construction output is deterministic.
 //!
 //! The default thread count is the machine's available parallelism,
 //! overridable with the `ARRANGEMENT_THREADS` environment variable (a

@@ -46,7 +46,15 @@
 //!   member lying on a segment cuts that segment, which reproduces exactly
 //!   the oracle's overlap cuts (the endpoints of each pairwise overlap).
 //!   Inside the status, collinear segments are tie-broken by index; they
-//!   never cross, so the tie-break never needs to flip.
+//!   never cross, so the tie-break never needs to flip. Because the
+//!   collinear pass owns these cuts completely, the sweep proper registers
+//!   an event point as a cut **only when segments of at least two distinct
+//!   supporting lines pass through it** — an all-collinear batch (which can
+//!   only arise at a segment endpoint) adds nothing the collinear pass has
+//!   not already recorded. This refinement is what lets the x-strip
+//!   decomposition of [`crate::strip`] reuse the sweep verbatim on clipped
+//!   segments: two collinear pieces meeting at an artificial seam endpoint
+//!   must *not* produce a cut there, and with this rule they don't.
 //!
 //! The status itself is a sorted `Vec`: ordering queries are `O(log n)`
 //! exact-`Rational` comparisons and the `memmove` cost of batch
@@ -75,8 +83,19 @@ pub fn split_segments_sweep(segments: &[TaggedSegment]) -> Vec<SubSegment> {
 pub fn sweep_cut_sets(segments: &[TaggedSegment]) -> CutSets {
     let mut cuts = endpoint_cuts(segments);
     collinear_overlap_cuts(segments, &mut cuts);
-    Sweep::new(segments).run(&mut cuts);
+    let segs: Vec<Segment> = segments.iter().map(|t| t.segment).collect();
+    sweep_segment_cuts(&segs, &mut cuts);
     cuts
+}
+
+/// Run the sweep proper over plain segments, registering every point where
+/// segments of at least two distinct supporting lines meet into `cuts`
+/// (indexed like `segs`). Endpoint seeding and collinear-overlap cuts are
+/// the caller's responsibility — [`sweep_cut_sets`] composes all three; the
+/// strip decomposition ([`crate::strip`]) runs this over clipped segments
+/// with its own seam-aware collinear pass.
+pub(crate) fn sweep_segment_cuts(segs: &[Segment], cuts: &mut [std::collections::BTreeSet<Point>]) {
+    Sweep::new(segs).run(cuts);
 }
 
 // ---------------------------------------------------------------------------
@@ -87,7 +106,7 @@ pub fn sweep_cut_sets(segments: &[TaggedSegment]) -> CutSets {
 /// `(A, B, C)` of `A*x + B*y = C`, scaled so the leading nonzero of
 /// `(A, B)` is `1`. Exact, so two segments get the same key iff they are
 /// collinear.
-fn line_key(s: &Segment) -> (Rational, Rational, Rational) {
+pub(crate) fn line_key(s: &Segment) -> (Rational, Rational, Rational) {
     let d = s.direction();
     // Normal form: (dy) * x + (-dx) * y = dy * a.x - dx * a.y.
     let (a, b) = (d.dy, -d.dx);
@@ -144,7 +163,7 @@ fn collinear_overlap_cuts(segments: &[TaggedSegment], cuts: &mut CutSets) {
 // ---------------------------------------------------------------------------
 
 struct Sweep<'a> {
-    segments: &'a [TaggedSegment],
+    segments: &'a [Segment],
     /// Event queue: the key order (lexicographic point order) is the sweep
     /// order; the value is the list of segments whose sweep source is the
     /// point. Crossing events discovered later are inserted with an empty
@@ -155,27 +174,32 @@ struct Sweep<'a> {
 }
 
 impl<'a> Sweep<'a> {
-    fn new(segments: &'a [TaggedSegment]) -> Self {
+    fn new(segments: &'a [Segment]) -> Self {
         let mut queue: BTreeMap<Point, Vec<usize>> = BTreeMap::new();
-        for (i, ts) in segments.iter().enumerate() {
-            queue.entry(ts.segment.sweep_source()).or_default().push(i);
+        for (i, s) in segments.iter().enumerate() {
+            queue.entry(s.sweep_source()).or_default().push(i);
             // Ensure the removal event exists even if nothing starts there.
-            queue.entry(ts.segment.sweep_target()).or_default();
+            queue.entry(s.sweep_target()).or_default();
         }
         Sweep { segments, queue, status: Vec::new() }
     }
 
     fn seg(&self, i: usize) -> &Segment {
-        &self.segments[i].segment
+        &self.segments[i]
     }
 
-    fn run(mut self, cuts: &mut CutSets) {
+    fn run(mut self, cuts: &mut [std::collections::BTreeSet<Point>]) {
         while let Some((p, starters)) = self.queue.pop_first() {
             self.handle_event(p, starters, cuts);
         }
     }
 
-    fn handle_event(&mut self, p: Point, starters: Vec<usize>, cuts: &mut CutSets) {
+    fn handle_event(
+        &mut self,
+        p: Point,
+        starters: Vec<usize>,
+        cuts: &mut [std::collections::BTreeSet<Point>],
+    ) {
         // The run of status segments containing p. The status is ordered
         // with respect to `cmp_at_sweep` at p (all events before p have been
         // processed), so the run is contiguous and binary-searchable.
@@ -184,15 +208,24 @@ impl<'a> Sweep<'a> {
             + self.status[lo..]
                 .partition_point(|&s| self.seg(s).cmp_at_sweep(&p) == Ordering::Equal);
 
-        // Cut registration: p is an intersection point iff at least two
-        // segments pass through it. (Plain endpoints are pre-seeded in the
-        // cut sets, so singleton events need no bookkeeping.)
+        // Cut registration: p is an intersection point iff segments of at
+        // least two distinct supporting lines pass through it. (Plain
+        // endpoints are pre-seeded in the cut sets, and an all-collinear
+        // batch — only possible at a segment endpoint — is fully covered by
+        // the collinear-overlap pass, so neither needs bookkeeping here.
+        // Segments through a common point are collinear iff their directions
+        // are parallel.)
         if (hi - lo) + starters.len() >= 2 {
-            for &s in &self.status[lo..hi] {
-                cuts[s].insert(p);
-            }
-            for &s in &starters {
-                cuts[s].insert(p);
+            let mut through = self.status[lo..hi].iter().chain(starters.iter()).copied();
+            let d0 = self.seg(through.next().expect("batch has >= 2 segments")).direction();
+            let multi_line = through.any(|s| !d0.cross(&self.seg(s).direction()).is_zero());
+            if multi_line {
+                for &s in &self.status[lo..hi] {
+                    cuts[s].insert(p);
+                }
+                for &s in &starters {
+                    cuts[s].insert(p);
+                }
             }
         }
 

@@ -23,6 +23,18 @@
 //! purely geometric data (polylines, points) is borrowed from the shared
 //! component allocations.
 //!
+//! Repeated whole-complex scans are amortized by two **per-component memos**,
+//! built lazily behind [`OnceLock`]s (so a view that is never label-scanned
+//! never pays for them, and all clones and threads share one build): the
+//! inverse region map (global region index → local label position), which
+//! turns the `vertex_sign`/`edge_sign`/`face_sign` fast paths from a binary
+//! search into an array index — the access pattern of
+//! `relation_matrix` over many pairs — and the widened-label table, which
+//! widens each cell's label once instead of on every
+//! `vertex_label`/`edge_label`/`face_label` read
+//! ([`GlobalComplexView::label_widenings`] counts widenings, and the test
+//! suite pins that a second scan performs none).
+//!
 //! The view is **index-identical** to the flat complex produced by
 //! [`crate::assemble_components`] from the same component list: every cell
 //! has the same id, label and incidences through either representation
@@ -37,7 +49,8 @@ use crate::complex::{CellComplex, ComplexRead};
 use crate::types::*;
 use spatial_core::prelude::Point;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A zero-copy global cell complex over shared component sub-complexes.
 ///
@@ -71,6 +84,29 @@ pub struct GlobalComplexView {
     /// Global face id → components embedded directly in that face.
     nested_in_face: BTreeMap<usize, Vec<usize>>,
     exterior_label: Label,
+    /// Per component, lazily built on first sign read: global region index →
+    /// local label position (`u32::MAX` for regions foreign to the
+    /// component). Turns the sign fast paths from a binary search into an
+    /// array index. Behind an `Arc` so every clone of the view shares one
+    /// build.
+    region_pos: Arc<Vec<OnceLock<Vec<u32>>>>,
+    /// Per component, lazily built on first whole-label read: the widened
+    /// labels of every cell, so repeated whole-complex scans widen each
+    /// component's labels once instead of `O(regions)` merge work per read.
+    /// Behind an `Arc` so every clone of the view shares one build.
+    widened: Arc<Vec<OnceLock<WidenedLabels>>>,
+    /// Number of label widenings performed by the accessor layer (shared by
+    /// all clones of the view; see [`GlobalComplexView::label_widenings`]).
+    widen_count: Arc<AtomicU64>,
+}
+
+/// The memoized widened labels of one component's cells.
+#[derive(Clone, Debug)]
+struct WidenedLabels {
+    vertices: Vec<Label>,
+    edges: Vec<Label>,
+    /// Bounded local faces `1..`, indexed by `local face id - 1`.
+    faces: Vec<Label>,
 }
 
 impl GlobalComplexView {
@@ -147,7 +183,6 @@ impl GlobalComplexView {
 
         GlobalComplexView {
             region_names,
-            components,
             region_map,
             vertex_start,
             edge_start,
@@ -159,6 +194,10 @@ impl GlobalComplexView {
             inherited,
             nested_in_face,
             exterior_label,
+            region_pos: Arc::new((0..k).map(|_| OnceLock::new()).collect()),
+            widened: Arc::new((0..k).map(|_| OnceLock::new()).collect()),
+            widen_count: Arc::new(AtomicU64::new(0)),
+            components,
         }
     }
 
@@ -230,11 +269,52 @@ impl GlobalComplexView {
 
     /// The sign of a global region index at a component-local label, falling
     /// back to the component's inherited label for foreign regions.
+    ///
+    /// Served through the memoized inverse region map: the first sign read
+    /// of a component builds its `O(regions)` global→local position table,
+    /// after which every read is an array index instead of a binary search —
+    /// the fast path for whole-complex scans like `relation_matrix`.
     fn local_sign(&self, c: usize, local_label: &Label, region: usize) -> Sign {
-        match self.region_map[c].binary_search(&region) {
-            Ok(p) => local_label[p],
-            Err(_) => self.inherited[c][region],
+        let table = self.region_pos[c].get_or_init(|| {
+            let mut t = vec![u32::MAX; self.region_names.len()];
+            for (li, &gi) in self.region_map[c].iter().enumerate() {
+                t[gi] = li as u32;
+            }
+            t
+        });
+        match table[region] {
+            u32::MAX => self.inherited[c][region],
+            p => local_label[p as usize],
         }
+    }
+
+    /// The memoized widened labels of component `c`, built on first use: one
+    /// widening per cell, once per component, shared by every clone of the
+    /// view and every thread reading through it.
+    fn widened(&self, c: usize) -> &WidenedLabels {
+        self.widened[c].get_or_init(|| {
+            let cx = &self.components[c].complex;
+            WidenedLabels {
+                vertices: cx.vertices.iter().map(|v| self.widen_counted(c, &v.label)).collect(),
+                edges: cx.edges.iter().map(|e| self.widen_counted(c, &e.label)).collect(),
+                faces: (1..cx.face_count())
+                    .map(|f| self.widen_counted(c, &cx.face(FaceId(f)).label))
+                    .collect(),
+            }
+        })
+    }
+
+    fn widen_counted(&self, c: usize, local: &Label) -> Label {
+        self.widen_count.fetch_add(1, Ordering::Relaxed);
+        widen_label(&self.inherited[c], local, &self.region_map[c])
+    }
+
+    /// How many label widenings this view's accessors have performed (the
+    /// counter is shared by all clones). Repeated whole-complex label scans
+    /// must not grow it past one widening per cell — the observable
+    /// guarantee of the per-component label memo, pinned by the test suite.
+    pub fn label_widenings(&self) -> u64 {
+        self.widen_count.load(Ordering::Relaxed)
     }
 }
 
@@ -266,11 +346,7 @@ impl ComplexRead for GlobalComplexView {
 
     fn vertex_label(&self, v: VertexId) -> Label {
         let (c, lv) = self.vertex_home(v);
-        widen_label(
-            &self.inherited[c],
-            &self.components[c].complex.vertices[lv].label,
-            &self.region_map[c],
-        )
+        self.widened(c).vertices[lv].clone()
     }
 
     fn vertex_rotation(&self, v: VertexId) -> Vec<DartId> {
@@ -297,11 +373,7 @@ impl ComplexRead for GlobalComplexView {
 
     fn edge_label(&self, e: EdgeId) -> Label {
         let (c, le) = self.edge_home(e);
-        widen_label(
-            &self.inherited[c],
-            &self.components[c].complex.edges[le].label,
-            &self.region_map[c],
-        )
+        self.widened(c).edges[le].clone()
     }
 
     fn edge_region_marks(&self, e: EdgeId) -> Vec<usize> {
@@ -324,11 +396,7 @@ impl ComplexRead for GlobalComplexView {
             return self.exterior_label.clone();
         }
         let (c, lf) = self.face_home(f);
-        widen_label(
-            &self.inherited[c],
-            &self.components[c].complex.face(lf).label,
-            &self.region_map[c],
-        )
+        self.widened(c).faces[lf.0 - 1].clone()
     }
 
     fn face_boundary(&self, f: FaceId) -> Vec<EdgeId> {
@@ -469,6 +537,44 @@ mod tests {
         for vx in v.vertex_ids() {
             assert_eq!(v.vertex_rotation(vx), ComplexRead::vertex_rotation(&flat, vx));
         }
+    }
+
+    #[test]
+    fn label_widening_is_memoized_per_component() {
+        let inst = fixtures::nested_three();
+        let v = view_of(&inst);
+        assert_eq!(v.label_widenings(), 0, "assembly must not widen through the accessors");
+        let scan = |v: &GlobalComplexView| -> Vec<Label> {
+            v.vertex_ids()
+                .map(|x| v.vertex_label(x))
+                .chain(v.edge_ids().map(|e| v.edge_label(e)))
+                .chain(v.face_ids().map(|f| v.face_label(f)))
+                .collect()
+        };
+        // Clone *before* the memo is built: clones share the memo itself
+        // (not just the counter), so the scan below must build it for both.
+        let w = v.clone();
+        let first = scan(&v);
+        let after_first = v.label_widenings();
+        let widenable = v.vertex_count() + v.edge_count() + (v.face_count() - 1);
+        assert_eq!(after_first as usize, widenable, "exactly one widening per non-exterior cell");
+        // A second whole-complex scan reuses the memo: zero further widenings.
+        assert_eq!(scan(&v), first);
+        assert_eq!(v.label_widenings(), after_first, "second scan must not widen again");
+        // Sign fast paths go through the inverse region map, never the
+        // widener.
+        for r in 0..v.region_names().len() {
+            for f in v.face_ids() {
+                let _ = v.face_sign(f, r);
+            }
+            for e in v.edge_ids() {
+                let _ = v.edge_sign(e, r);
+            }
+        }
+        assert_eq!(v.label_widenings(), after_first);
+        // The pre-build clone shares the built memo: zero further widenings.
+        assert_eq!(scan(&w), first);
+        assert_eq!(w.label_widenings(), after_first, "clone must share the memo, not rebuild it");
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Differential suite for the x-strip parallel sweep: on fixtures,
+//! randomized dense single-component instances and crossing-heavy grids,
+//! [`arrangement::strip::split_segments_striped`] must produce **identical**
+//! sub-segment lists — not merely equivalent complexes — to the monolithic
+//! sweep and to the all-pairs oracle, for every strip and thread count; and
+//! the full complexes built through the strip path must be
+//! fingerprint-identical to the monolithic single-sweep construction.
+
+use arrangement::split::{instance_segments, split_segments, split_segments_naive};
+use arrangement::strip::split_segments_striped;
+use arrangement::{build_complex_monolithic, build_component_complexes, GlobalComplexView};
+use spatial_core::prelude::*;
+
+mod common;
+use common::fingerprint;
+
+fn assert_strips_exact(inst: &SpatialInstance, context: &str) {
+    let segments = instance_segments(inst);
+    let serial = split_segments(&segments);
+    assert_eq!(
+        serial,
+        split_segments_naive(&segments),
+        "{context}: serial sweep != all-pairs oracle"
+    );
+    for strips in [2usize, 3, 4, 8, 16] {
+        for threads in [1usize, 3] {
+            assert_eq!(
+                split_segments_striped(&segments, strips, threads),
+                serial,
+                "{context}: strips={strips} threads={threads} diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_dense_instances_split_identically() {
+    // Dense single-component jittered grids: irregular endpoint-x profiles,
+    // Theta(n) proper crossings, seams landing on crossing abscissas.
+    for seed in 0..12u64 {
+        let inst = datagen::jittered_overlap_map(4, 4, 5, seed);
+        assert_strips_exact(&inst, &format!("jittered_overlap_map(4, 4, 5, {seed})"));
+    }
+    // Random rectangle soups in a tight span: collinear shared edges,
+    // touching corners, duplicated abscissas.
+    for seed in 100..108u64 {
+        let inst = datagen::random_rectangles(12, 16, seed);
+        assert_strips_exact(&inst, &format!("random_rectangles(12, 16, {seed})"));
+    }
+    // The deterministic crossing-heavy benchmark workload.
+    assert_strips_exact(&datagen::dense_overlap_map(5, 5, 4), "dense_overlap_map(5, 5, 4)");
+}
+
+#[test]
+fn striped_complex_is_fingerprint_identical_to_monolithic() {
+    for (name, inst) in [
+        ("jittered_overlap_map(3, 3, 6, 9)", datagen::jittered_overlap_map(3, 3, 6, 9)),
+        ("dense_overlap_map(4, 4, 4)", datagen::dense_overlap_map(4, 4, 4)),
+    ] {
+        let oracle = fingerprint(&build_complex_monolithic(&inst));
+        let names: Vec<String> = inst.names().iter().map(|s| s.to_string()).collect();
+        // The striped splitter is output-identical to the serial one, so the
+        // complex built from its sub-segments must fingerprint-match the
+        // monolithic single-sweep construction through the whole pipeline.
+        let segments = instance_segments(&inst);
+        for strips in [2usize, 8] {
+            let subs = split_segments_striped(&segments, strips, 2);
+            assert_eq!(subs, split_segments(&segments), "{name}: strips={strips}");
+        }
+        let view = GlobalComplexView::new(names, build_component_complexes(&inst, 2));
+        assert_eq!(oracle, fingerprint(&view), "{name}: pipeline fingerprint diverges");
+    }
+}

@@ -1,12 +1,15 @@
 //! Determinism of the parallel construction pipeline: sweeping components on
-//! 1, 2 or 8 worker threads — whether selected explicitly or through the
-//! `ARRANGEMENT_THREADS` environment variable — must produce fingerprint- and
-//! index-identical complexes.
+//! 1, 2 or 8 worker threads and decomposing the per-component sweep into 1,
+//! 2 or 8 x-strips — whether selected explicitly or through the
+//! `ARRANGEMENT_THREADS` / `ARRANGEMENT_STRIPS` environment variables — must
+//! produce fingerprint- and index-identical complexes.
 //!
 //! This file deliberately holds a single `#[test]` (its own test binary), so
 //! the environment-variable part cannot race with any other test in the same
 //! process.
 
+use arrangement::split::{instance_segments, split_segments};
+use arrangement::strip::split_segments_striped;
 use arrangement::{build_complex, build_component_complexes, ComplexRead, GlobalComplexView};
 use spatial_core::prelude::*;
 
@@ -54,17 +57,39 @@ fn thread_count_never_changes_the_complex() {
             }
         }
 
-        // The same thread counts selected through ARRANGEMENT_THREADS, which
-        // drives `build_complex` end to end (partition → parallel sweep →
-        // copy assembly).
-        let mut env_fps = Vec::new();
-        for threads in ["1", "2", "8"] {
-            std::env::set_var("ARRANGEMENT_THREADS", threads);
-            env_fps.push(fingerprint(&build_complex(&inst)));
+        // Explicit strip counts through the splitter API: the x-strip
+        // decomposition must be *output-identical* (sub-segment for
+        // sub-segment, a stronger property than fingerprint equality) to the
+        // monolithic sweep for every strips × threads combination.
+        let segments = instance_segments(&inst);
+        let serial_subs = split_segments(&segments);
+        for strips in [1usize, 2, 8] {
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    split_segments_striped(&segments, strips, threads),
+                    serial_subs,
+                    "{name}: explicit strips={strips} threads={threads} diverges"
+                );
+            }
         }
+
+        // The same combinations selected through the environment, which
+        // drives `build_complex` end to end (partition → strip-decomposed
+        // parallel sweep → copy assembly). `ARRANGEMENT_STRIPS` forces the
+        // strip path regardless of the component-size threshold, so these
+        // instances exercise it even though they are small.
+        for strips in ["1", "2", "8"] {
+            std::env::set_var("ARRANGEMENT_STRIPS", strips);
+            for threads in ["1", "2", "8"] {
+                std::env::set_var("ARRANGEMENT_THREADS", threads);
+                assert_eq!(
+                    fingerprint(&build_complex(&inst)),
+                    base_fp,
+                    "{name}: ARRANGEMENT_STRIPS={strips} ARRANGEMENT_THREADS={threads} diverges"
+                );
+            }
+        }
+        std::env::remove_var("ARRANGEMENT_STRIPS");
         std::env::remove_var("ARRANGEMENT_THREADS");
-        assert_eq!(env_fps[0], base_fp, "{name}: env-selected serial build diverges");
-        assert_eq!(env_fps[0], env_fps[1], "{name}: ARRANGEMENT_THREADS=2 diverges");
-        assert_eq!(env_fps[0], env_fps[2], "{name}: ARRANGEMENT_THREADS=8 diverges");
     }
 }

@@ -1,0 +1,81 @@
+//! The performance claim of the intra-component parallel sweep: on a dense,
+//! crossing-heavy map that forms **one** interaction component — exactly the
+//! workload where `parallel_cold_build`'s component-level fan-out shows no
+//! speedup, because there is only one component to fan out — decomposing the
+//! Bentley–Ottmann splitting phase into concurrent x-strips
+//! ([`arrangement::strip::split_segments_striped`]) makes wall time drop
+//! with the thread count while the output stays sub-segment-identical to the
+//! monolithic sweep (pinned by `tests/strip_differential.rs` and
+//! `tests/thread_determinism.rs`).
+//!
+//! Series, all over the same `datagen::dense_overlap_map` instance (asserted
+//! single-component):
+//!
+//! * `serial` — the monolithic sweep ([`split_segments`]), the pre-strip
+//!   production path;
+//! * `threads1` / `threads2` / `threadsmax` — the strip decomposition at a
+//!   fixed strip count (the machine's available parallelism, at least 2, so
+//!   the decomposition work is identical across the series) on 1, 2 and all
+//!   worker threads. `threads1` isolates the decomposition overhead
+//!   (clipping + seam events + stitching) without any parallelism.
+//!
+//! `scripts/bench_snapshot.sh` records the group into
+//! `BENCH_arrangement.json`, gates `threadsmax` beating `serial` by >1.5x on
+//! hosts with 4+ cores (on 2-3 cores it must simply win; on a single-core
+//! host every series measures overhead, so the gate is skipped there), and
+//! tracks `serial` in the regression gate.
+
+use arrangement::partition_instance;
+use arrangement::split::{instance_segments, split_segments};
+use arrangement::strip::split_segments_striped;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Grid side lengths of the dense single-component maps (`side²` regions).
+/// The largest size is the gated data point; it is deliberately big enough
+/// (1024 segments, ~2k crossings) that the fixed decomposition cost
+/// (clipping + seam events + stitching, ~10-15% of the serial sweep) is
+/// well amortized, so the multi-core speedup gate measures scaling rather
+/// than overhead.
+const DENSE_SIDES: [usize; 2] = [12, 16];
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn strip_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strip_sweep");
+    let max = arrangement::parallel::available_threads();
+    let strips = max.max(2);
+    for side in DENSE_SIDES {
+        let n = side * side;
+        let inst = datagen::dense_overlap_map(side, side, 4);
+        assert_eq!(
+            partition_instance(&inst).len(),
+            1,
+            "dense_overlap_map must be one interaction component"
+        );
+        let segments = instance_segments(&inst);
+
+        group.bench_with_input(BenchmarkId::new("serial", n), &(), |b, _| {
+            b.iter(|| black_box(split_segments(&segments)))
+        });
+        for (label, threads) in [("threads1", 1), ("threads2", 2), ("threadsmax", max)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &(), |b, _| {
+                b.iter(|| black_box(split_segments_striped(&segments, strips, threads)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = strip_sweep
+}
+criterion_main!(benches);

@@ -138,6 +138,44 @@ pub fn dense_overlap_map(cols: usize, rows: usize, cell_size: i64) -> SpatialIns
     inst
 }
 
+/// A randomized dense single-component map: like [`dense_overlap_map`], but
+/// every parcel's right/upper overhang is drawn pseudo-randomly (at least
+/// `1`, so each parcel still properly overlaps its right and upper
+/// neighbors, keeping the whole map one interaction component), and the
+/// parcel corners are jittered within the cell. Deterministic in the seed.
+///
+/// This is the adversarial workload for the x-strip parallel sweep: one
+/// big crossing-heavy component with an irregular endpoint-x distribution,
+/// so the density-weighted seam placement and the seam reconciliation are
+/// both exercised on geometry that is not axis-aligned-regular.
+pub fn jittered_overlap_map(cols: usize, rows: usize, cell_size: i64, seed: u64) -> SpatialInstance {
+    assert!(cols > 0 && rows > 0 && cell_size > 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = SpatialInstance::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            // Jitter stays below cell_size / 3; the overhang always exceeds
+            // it, so every parcel properly overlaps its right and upper
+            // neighbors whatever the draws — the map is one component.
+            let x1 = c as i64 * cell_size + rng.gen_range(0..cell_size / 3 + 1);
+            let y1 = r as i64 * cell_size + rng.gen_range(0..cell_size / 3 + 1);
+            let over_x = rng.gen_range(cell_size / 3 + 1..=cell_size);
+            let over_y = rng.gen_range(cell_size / 3 + 1..=cell_size);
+            let name = format!("P{:03}_{:03}", r, c);
+            inst.insert(
+                name,
+                Region::rect_from_ints(
+                    x1,
+                    y1,
+                    (c as i64 + 1) * cell_size + over_x,
+                    (r as i64 + 1) * cell_size + over_y,
+                ),
+            );
+        }
+    }
+    inst
+}
+
 /// The side length of the area a [`clustered_map`] cluster draws its
 /// rectangles in (a rectangle may stick out by at most `CLUSTER_SPAN / 2`).
 pub const CLUSTER_SPAN: i64 = 20;
@@ -337,6 +375,32 @@ mod tests {
             let cell = Rational::from_int(48);
             let col = Rational::from_int((c as i64 % 3) * 48);
             assert!(ax0 >= col && ax1 < col + cell, "component {c} stays in its grid cell");
+        }
+    }
+
+    #[test]
+    fn jittered_overlap_map_is_deterministic_and_overlapping() {
+        let a = jittered_overlap_map(4, 3, 6, 17);
+        assert_eq!(a, jittered_overlap_map(4, 3, 6, 17));
+        assert_ne!(a, jittered_overlap_map(4, 3, 6, 18));
+        assert_eq!(a.len(), 12);
+        // Every parcel properly overlaps its right and upper neighbor: their
+        // shared corner area contains interior points of both.
+        for r in 0..3usize {
+            for c in 0..4usize {
+                let me = a.ext(&format!("P{:03}_{:03}", r, c)).unwrap();
+                let (_, _, x2, y2) = me.bounding_box();
+                if c + 1 < 4 {
+                    let right = a.ext(&format!("P{:03}_{:03}", r, c + 1)).unwrap();
+                    let (rx1, _, _, _) = right.bounding_box();
+                    assert!(rx1 < x2, "parcel ({r},{c}) must overlap its right neighbor");
+                }
+                if r + 1 < 3 {
+                    let up = a.ext(&format!("P{:03}_{:03}", r + 1, c)).unwrap();
+                    let (_, uy1, _, _) = up.bounding_box();
+                    assert!(uy1 < y2, "parcel ({r},{c}) must overlap its upper neighbor");
+                }
+            }
         }
     }
 

@@ -82,9 +82,9 @@ use invariant::Invariant;
 use relations::Relation4;
 use spatial_core::instance::SpatialInstance;
 use spatial_core::region::Region;
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A topological spatial database: named regions plus the derived structures
 /// of the paper (cell complex, invariant, thematic relational summary),
@@ -100,7 +100,11 @@ use std::sync::Arc;
 ///   epoch — an immutable, `Send + Sync`, cheaply clonable read handle that
 ///   owns the assembled view and every derived read (relations, queries,
 ///   invariant, thematic). Long-lived snapshots keep answering for their
-///   epoch after later commits (snapshot isolation for readers).
+///   epoch after later commits (snapshot isolation for readers). The
+///   database itself is `Sync` — the cache sits behind an [`RwLock`], so
+///   *acquiring* snapshots (a read lock on the warm path) is concurrent
+///   too: a service front end can share one `&TopoDatabase` across its
+///   worker threads.
 ///
 /// The inherent read methods ([`TopoDatabase::relation`],
 /// [`TopoDatabase::query`], [`TopoDatabase::invariant`], …) and the
@@ -144,10 +148,15 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct TopoDatabase {
     pub(crate) instance: SpatialInstance,
-    cache: RefCell<Cache>,
-    complex_builds: Cell<u64>,
-    component_rebuilds: Cell<u64>,
-    epoch: Cell<u64>,
+    /// The derived-structure cache behind a reader-writer lock: *snapshot
+    /// acquisition* itself is callable from any number of threads
+    /// concurrently (`&self`, read lock on the hot path — the database is
+    /// `Sync`), while a cache miss after a commit takes the write lock once
+    /// to rebuild. Writes to the instance still require `&mut self`.
+    cache: RwLock<Cache>,
+    complex_builds: AtomicU64,
+    component_rebuilds: AtomicU64,
+    epoch: AtomicU64,
 }
 
 #[derive(Default)]
@@ -217,13 +226,26 @@ impl TopoDatabase {
     /// changed `names`: start a new epoch, drop the snapshot, and evict the
     /// cached components containing any changed name.
     pub(crate) fn invalidate<S: AsRef<str>>(&mut self, names: &[S]) {
-        self.epoch.set(self.epoch.get() + 1);
-        let cache = self.cache.get_mut();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        // `&mut self` gives exclusive access: no lock traffic, no poisoning.
+        let cache = self.cache.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
         cache.snapshot = None;
         cache.flat = None;
         cache
             .components
             .retain(|key, _| !key.iter().any(|n| names.iter().any(|c| c.as_ref() == n)));
+    }
+
+    /// A read guard on the cache (recovering from poisoning: the cache holds
+    /// only derived data, always rebuildable from the instance).
+    fn cache_read(&self) -> RwLockReadGuard<'_, Cache> {
+        self.cache.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A write guard on the cache (recovering from poisoning, see
+    /// [`TopoDatabase::cache_read`]).
+    fn cache_write(&self) -> RwLockWriteGuard<'_, Cache> {
+        self.cache.write().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     // ---- instance accessors ---------------------------------------------
@@ -273,11 +295,18 @@ impl TopoDatabase {
         if !missing.is_empty() {
             let threads = arrangement::parallel::configured_threads();
             let instance = &self.instance;
+            // Share the thread budget between the component fan-out and each
+            // component's own strip decomposition (a single big dirty
+            // component gets the whole budget for its strips).
+            let strip_budget = arrangement::strip::strip_budget(missing.len(), threads);
             let built = arrangement::parallel::map_indexed(missing.len(), threads, |j| {
-                Arc::new(arrangement::build_group_component(instance, &groups[missing[j]]))
+                Arc::new(arrangement::assemble::build_group_component_budgeted(
+                    instance,
+                    &groups[missing[j]],
+                    strip_budget,
+                ))
             });
-            self.component_rebuilds
-                .set(self.component_rebuilds.get() + missing.len() as u64);
+            self.component_rebuilds.fetch_add(missing.len() as u64, Ordering::Relaxed);
             for (j, component) in built.into_iter().enumerate() {
                 cache.components.insert(keys[missing[j]].clone(), component);
             }
@@ -288,9 +317,9 @@ impl TopoDatabase {
         // an update since they were built).
         cache.components.retain(|key, _| keys.contains(key));
         let global_names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
-        self.complex_builds.set(self.complex_builds.get() + 1);
+        self.complex_builds.fetch_add(1, Ordering::Relaxed);
         let view = Arc::new(GlobalComplexView::new(global_names, components));
-        cache.snapshot = Some(Snapshot::new(self.epoch.get(), view));
+        cache.snapshot = Some(Snapshot::new(self.epoch.load(Ordering::Relaxed), view));
     }
 
     /// The immutable [`Snapshot`] of the current epoch — the read half of
@@ -301,8 +330,18 @@ impl TopoDatabase {
     /// `Send + Sync` and keeps answering for its epoch however many batches
     /// are committed afterwards; call `snapshot()` again after a commit to
     /// observe the new epoch.
+    ///
+    /// Acquisition itself is concurrent: the database is `Sync`, the cache
+    /// sits behind an [`RwLock`], and the warm path takes only a read lock —
+    /// any number of threads can call `snapshot()` (and every other read)
+    /// on a shared `&TopoDatabase` simultaneously. A cold call after a
+    /// commit upgrades to the write lock; whichever caller wins rebuilds
+    /// once and the rest reuse its snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let mut cache = self.cache.borrow_mut();
+        if let Some(snapshot) = &self.cache_read().snapshot {
+            return snapshot.clone();
+        }
+        let mut cache = self.cache_write();
         self.ensure_snapshot(&mut cache);
         cache.snapshot.as_ref().expect("snapshot just ensured").clone()
     }
@@ -321,7 +360,10 @@ impl TopoDatabase {
     /// caller specifically needs the flat [`CellComplex`] representation;
     /// all of this facade's own reads go through the view.
     pub fn cell_complex(&self) -> Arc<CellComplex> {
-        let mut cache = self.cache.borrow_mut();
+        if let Some(flat) = &self.cache_read().flat {
+            return Arc::clone(flat);
+        }
+        let mut cache = self.cache_write();
         self.ensure_snapshot(&mut cache);
         if cache.flat.is_none() {
             let snapshot = cache.snapshot.as_ref().expect("snapshot just ensured");
@@ -345,7 +387,15 @@ impl TopoDatabase {
     /// is returned pointer-identical (`Arc::ptr_eq`), which is the
     /// observable guarantee of incremental maintenance.
     pub fn component_complexes(&self) -> Vec<(Vec<String>, Arc<ComponentComplex>)> {
-        let mut cache = self.cache.borrow_mut();
+        {
+            // Warm path: a cached snapshot means the component map is
+            // current too, so a read lock suffices.
+            let cache = self.cache_read();
+            if cache.snapshot.is_some() {
+                return cache.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+            }
+        }
+        let mut cache = self.cache_write();
         self.ensure_snapshot(&mut cache);
         cache.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
     }
@@ -358,7 +408,7 @@ impl TopoDatabase {
     /// snapshots, relations, queries or invariant calls it makes — and a
     /// committed batch of `k` mutations still only adds one.
     pub fn complex_build_count(&self) -> u64 {
-        self.complex_builds.get()
+        self.complex_builds.load(Ordering::Relaxed)
     }
 
     /// How many component sub-complexes this database has swept from
@@ -370,7 +420,7 @@ impl TopoDatabase {
     /// to the batch while [`TopoDatabase::complex_build_count`] grows by
     /// one, however large the rest of the map is.
     pub fn component_rebuild_count(&self) -> u64 {
-        self.component_rebuilds.get()
+        self.component_rebuilds.load(Ordering::Relaxed)
     }
 
     /// The current update epoch: the number of *effective* committed batches
@@ -381,7 +431,7 @@ impl TopoDatabase {
     /// time they are read; [`Snapshot::epoch`] records which epoch a
     /// snapshot belongs to.
     pub fn update_epoch(&self) -> u64 {
-        self.epoch.get()
+        self.epoch.load(Ordering::Relaxed)
     }
 
     // ---- thin read wrappers (prefer Snapshot) ---------------------------
@@ -462,7 +512,7 @@ impl TopoDatabase {
             .iter()
             .map(|(v, e, f)| format!("{}", v + e + f))
             .collect();
-        let cached = if self.cache.borrow().flat.is_some() {
+        let cached = if self.cache_read().flat.is_some() {
             "view + flat copy"
         } else {
             "view"

@@ -182,6 +182,46 @@ fn snapshot_is_queried_from_four_threads() {
     assert!(Arc::ptr_eq(&snap.evaluator(), &snap.evaluator()));
 }
 
+/// The database itself is `Sync` (`RwLock`-backed cache): four scoped
+/// threads *acquire* snapshots concurrently from one shared
+/// `&TopoDatabase` — not merely read through a pre-acquired snapshot —
+/// and the cold build still happens exactly once.
+#[test]
+fn snapshots_are_acquired_concurrently_from_four_threads() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TopoDatabase>();
+
+    let db = clustered_db(4, 3);
+    assert_eq!(db.complex_build_count(), 0, "nothing built before the burst");
+    let snaps: Vec<Snapshot> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let db = &db;
+                scope.spawn(move || {
+                    let snap = db.snapshot();
+                    // Every thread reads through its own freshly acquired
+                    // snapshot while the others are still acquiring.
+                    assert_eq!(snap.len(), 12);
+                    let matrix = snap.relation_matrix();
+                    assert_eq!(matrix.len(), 12 * 11 / 2);
+                    snap
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // All acquisitions observed the same epoch, and whichever thread won the
+    // write lock built the complex exactly once for everyone.
+    assert!(snaps.iter().all(|s| s.epoch() == snaps[0].epoch()));
+    assert_eq!(db.complex_build_count(), 1, "concurrent acquisition builds once");
+    for s in &snaps[1..] {
+        assert!(
+            Arc::ptr_eq(&s.complex_view(), &snaps[0].complex_view()),
+            "every thread shares the one cached view"
+        );
+    }
+}
+
 /// `Snapshot::relations_of` returns one region's row of the relation
 /// matrix, consistent with the full matrix.
 #[test]

@@ -2,22 +2,25 @@
 # Tracked perf trajectory for the arrangement benchmarks.
 #
 # Runs the splitting-phase scaling group (`splitting_sweep_vs_naive`), the
-# incremental-maintenance groups (`incremental_update`, `batch_update`) and
-# the assembly groups (`assemble_view_vs_copy`, `parallel_cold_build`), merges their
+# incremental-maintenance groups (`incremental_update`, `batch_update`), the
+# assembly groups (`assemble_view_vs_copy`, `parallel_cold_build`) and the
+# intra-component strip-sweep group (`strip_sweep`), merges their
 # machine-readable records into one snapshot (default:
 # BENCH_arrangement.json at the repository root), and then compares the fresh
 # run against the previously committed snapshot:
 #
 #   * every benchmark present in both runs gets a printed delta;
-#   * a >25% slowdown in any `sweep/*` or `assemble_view_vs_copy/view/*`
-#     entry is a tracked regression and fails the script (exit non-zero);
+#   * a >25% slowdown in any `sweep/*`, `assemble_view_vs_copy/view/*` or
+#     `strip_sweep/serial/*` entry is a tracked regression and fails the
+#     script (exit non-zero);
 #   * the sweep must still beat the naive splitter, the incremental update
 #     path must beat the full rebuild, a k-insert transaction must beat k
 #     sequential insert+read rounds, and the zero-copy view assembly must
 #     beat the copying assembly, at the largest sizes;
 #   * on multi-core hosts, the parallel cold build on all threads must beat
-#     the single-thread build (skipped on single-core hosts, where no
-#     speedup is possible).
+#     the single-thread build, and the strip-decomposed sweep on all threads
+#     must beat the monolithic sweep by >1.5x on the dense single-component
+#     map (both skipped on single-core hosts, where no speedup is possible).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -46,7 +49,8 @@ fi
 scaling_json="$(mktemp)"
 incremental_json="$(mktemp)"
 assembly_json="$(mktemp)"
-trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" ${baseline:+"${baseline}"}' EXIT
+strip_json="$(mktemp)"
+trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" "${strip_json}" ${baseline:+"${baseline}"}' EXIT
 
 echo "running splitting_sweep_vs_naive scaling group" >&2
 BENCH_JSON="${scaling_json}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
@@ -54,6 +58,8 @@ echo "running incremental_update and batch_update groups" >&2
 BENCH_JSON="${incremental_json}" cargo bench -p bench --bench incremental
 echo "running assemble_view_vs_copy and parallel_cold_build groups" >&2
 BENCH_JSON="${assembly_json}" cargo bench -p bench --bench assembly
+echo "running strip_sweep group" >&2
+BENCH_JSON="${strip_json}" cargo bench -p bench --bench strip
 
 # Merge the JSON arrays (each file is one record per line between the
 # bracket lines, so a line-level merge is exact).
@@ -63,6 +69,7 @@ BENCH_JSON="${assembly_json}" cargo bench -p bench --bench assembly
         sed -e '1d' -e '$d' "${scaling_json}"
         sed -e '1d' -e '$d' "${incremental_json}"
         sed -e '1d' -e '$d' "${assembly_json}"
+        sed -e '1d' -e '$d' "${strip_json}"
     } | sed -e 's/},\{0,1\}$/},/' -e '$ s/},$/}/'
     echo "]"
 } > "${abs_out}"
@@ -154,8 +161,32 @@ elif [ -n "${largest_par}" ]; then
     echo "single-core host (${cores}): skipping the parallel cold-build speedup gate (series measure pool overhead here)" >&2
 fi
 
+# Sanity 5: the intra-component strip sweep on all threads beats the
+# monolithic sweep on the dense single-component map — the workload where
+# component-level parallelism cannot help. The required margin scales with
+# the hardware: >1.5x on hosts with 4+ cores; on 2-3 cores (where the ideal
+# ceiling is 2-3x and the serial stitching/seeding fraction makes 1.5x
+# marginal) the strip path must simply win. On a single-core host every
+# strip series measures decomposition overhead, so the gate is skipped.
+largest_strip=$({ grep -o '"id": "strip_sweep/serial/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_strip}" ] && [ "${cores}" -gt 1 ]; then
+    serial_ns=$(extract_ns "${out}" "strip_sweep/serial/${largest_strip}")
+    smax_ns=$(extract_ns "${out}" "strip_sweep/threadsmax/${largest_strip}")
+    if [ "${cores}" -ge 4 ]; then margin="1.5"; else margin="1.0"; fi
+    speedup=$(awk -v a="${serial_ns}" -v b="${smax_ns}" 'BEGIN { printf "%.2f", a / b }')
+    echo "strip sweep at n=${largest_strip}: serial ${serial_ns} ns vs max threads ${smax_ns} ns (${speedup}x on ${cores} cores, required >${margin}x)" >&2
+    if [ "$(awk -v a="${serial_ns}" -v b="${smax_ns}" -v m="${margin}" 'BEGIN { print (b * m < a) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: strip sweep speedup not above ${margin}x over the monolithic sweep on a ${cores}-core host" >&2
+        exit 1
+    fi
+elif [ -n "${largest_strip}" ]; then
+    echo "single-core host (${cores}): skipping the strip-sweep speedup gate (series measure decomposition overhead here)" >&2
+fi
+
 # Perf trajectory: per-benchmark deltas against the committed snapshot; a
-# >25% slowdown in any sweep/* or assemble_view_vs_copy/view/* entry fails.
+# >25% slowdown in any sweep/*, assemble_view_vs_copy/view/* or
+# strip_sweep/serial/* entry fails.
 if [ -n "${baseline}" ]; then
     echo "--- perf trajectory vs committed snapshot ---" >&2
     awk '
@@ -178,7 +209,8 @@ if [ -n "${baseline}" ]; then
                 if (!(id in old)) { printf "  %-55s %14.1f ns  (new)\n", id, new[id]; continue }
                 delta = (new[id] - old[id]) / old[id] * 100
                 flag = ""
-                gated = index(id, "/sweep/") > 0 || index(id, "assemble_view_vs_copy/view/") > 0
+                gated = index(id, "/sweep/") > 0 || index(id, "assemble_view_vs_copy/view/") > 0 \
+                    || index(id, "strip_sweep/serial/") > 0
                 if (gated && delta > 25) { flag = "  REGRESSION"; regressions++ }
                 printf "  %-55s %14.1f ns  (%+.1f%%)%s\n", id, new[id], delta, flag
             }
