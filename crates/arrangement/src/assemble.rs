@@ -35,6 +35,7 @@
 use crate::builder::build_local;
 use crate::complex::CellComplex;
 use crate::geometry::point_in_closed_polyline;
+use crate::index::SpatialIndex;
 use crate::partition::{BBox, ComponentGroup};
 use crate::split::TaggedSegment;
 use crate::types::*;
@@ -179,13 +180,20 @@ pub(crate) fn compute_component_nesting(
 ) -> Vec<Option<(usize, FaceId)>> {
     let k = components.len();
     let mut parents: Vec<Option<(usize, FaceId)>> = vec![None; k];
+    // Box-level point location through a spatial index over the component
+    // boxes: each representative point probes in `O(log k + candidates)`
+    // instead of scanning all `k` components, and only the reported
+    // candidates pay the exact point-in-polygon tests.
+    let boxes: Vec<Option<BBox>> = components.iter().map(|comp| comp.bbox.clone()).collect();
+    let index = SpatialIndex::build(&boxes);
     for (c, parent) in parents.iter_mut().enumerate() {
         let Some(rep) = components[c].rep_point else { continue };
         let mut best: Option<(Rational, usize, FaceId)> = None;
-        for (d, comp) in components.iter().enumerate() {
-            if d == c || !comp.bbox.as_ref().is_some_and(|b| b.contains_point(&rep)) {
+        for d in index.locate_point(&rep) {
+            if d == c {
                 continue;
             }
+            let comp = &components[d];
             for cyc in &comp.bounded_cycles {
                 if point_in_closed_polyline(&rep, &cyc.polyline) {
                     let area = cyc.area2.abs();

@@ -17,6 +17,7 @@
 //! endpoints. This normalization is applied uniformly to every instance and
 //! therefore does not affect invariant comparisons (see `DESIGN.md`).
 
+use crate::partition::BBox;
 use crate::types::*;
 use spatial_core::prelude::Point;
 use std::collections::BTreeSet;
@@ -204,6 +205,33 @@ pub trait ComplexRead {
                 .filter(|&f| self.face_sign(f, idx) == Sign::Interior)
                 .collect(),
         }
+    }
+
+    /// The bounding box of every region's boundary, in
+    /// [`ComplexRead::region_names`] order (`None` for a region contributing
+    /// no boundary edge to the complex). A region's closure lives inside its
+    /// box, so two regions whose boxes don't interact are provably disjoint —
+    /// the pruning fact behind the spatial index
+    /// ([`SpatialIndex`](crate::SpatialIndex)) that the query planner builds
+    /// over these boxes. Computed by one scan of the edge polylines against
+    /// their region marks; [`GlobalComplexView`](crate::GlobalComplexView)
+    /// overrides this with a cached table.
+    fn region_bboxes(&self) -> Vec<Option<BBox>> {
+        let mut out: Vec<Option<BBox>> = vec![None; self.region_names().len()];
+        for e in self.edge_ids() {
+            let marks = self.edge_region_marks(e);
+            if marks.is_empty() {
+                continue;
+            }
+            let Some(eb) = BBox::of_points(self.edge_polyline(e)) else { continue };
+            for r in marks {
+                out[r] = Some(match out[r].take() {
+                    None => eb.clone(),
+                    Some(b) => b.union(&eb),
+                });
+            }
+        }
+        out
     }
 
     /// All darts whose left face is `f` (the face's boundary walk(s)).

@@ -132,6 +132,7 @@ pub mod assemble;
 mod builder;
 mod complex;
 mod geometry;
+pub mod index;
 pub mod parallel;
 pub mod partition;
 pub mod split;
@@ -148,6 +149,7 @@ pub use builder::{
     build_complex, build_complex_monolithic, build_complex_view, build_component_complexes,
 };
 pub use complex::{CellComplex, ComplexRead};
+pub use index::SpatialIndex;
 pub use view::GlobalComplexView;
 pub use partition::{partition_instance, BBox, ComponentGroup};
 pub use types::{

@@ -17,6 +17,7 @@
 //! guarantees is the absence of 0-/1-cell interaction, which is all the
 //! per-component sweep needs.
 
+use crate::index::SpatialIndex;
 use crate::split::TaggedSegment;
 use spatial_core::prelude::*;
 
@@ -48,6 +49,19 @@ impl BBox {
     pub fn of_region(region: &Region) -> BBox {
         let (x0, y0, x1, y1) = region.bounding_box();
         BBox { x0, y0, x1, y1 }
+    }
+
+    /// The bounding box of a point set (`None` when empty).
+    pub fn of_points(points: &[Point]) -> Option<BBox> {
+        let (first, rest) = points.split_first()?;
+        let mut out = BBox { x0: first.x, y0: first.y, x1: first.x, y1: first.y };
+        for p in rest {
+            out.x0 = out.x0.min(p.x);
+            out.y0 = out.y0.min(p.y);
+            out.x1 = out.x1.max(p.x);
+            out.y1 = out.y1.max(p.y);
+        }
+        Some(out)
     }
 
     /// Do two closed boxes share at least one point? (Touching counts:
@@ -134,20 +148,41 @@ pub fn partition_instance(instance: &SpatialInstance) -> Vec<ComponentGroup> {
 
 /// Partition tagged segments into interaction components over `n_regions`
 /// regions. See [`partition_instance`].
+///
+/// The interaction graph is discovered through a bulk-loaded
+/// [`SpatialIndex`] over the segment boxes: one box-overlap probe per
+/// segment reports exactly its interacting partners, `O(s (log s + d))` for
+/// `s` segments of maximum interaction degree `d`. The pre-index x-interval
+/// sweep is retained as [`partition_segments_sweep`], the differential
+/// oracle of this path.
 pub fn partition_segments(segments: &[TaggedSegment], n_regions: usize) -> Vec<ComponentGroup> {
-    let s = segments.len();
     let boxes: Vec<BBox> = segments.iter().map(|t| BBox::of_segment(&t.segment)).collect();
-    let mut uf = UnionFind::new(s);
+    let mut uf = union_regions(segments, n_regions);
 
-    // All segments of one region are connected (a region boundary is a single
-    // closed curve): link them through the first segment seen per region.
-    let mut first_of_region: Vec<Option<usize>> = vec![None; n_regions];
-    for (i, t) in segments.iter().enumerate() {
-        match first_of_region[t.region] {
-            None => first_of_region[t.region] = Some(i),
-            Some(f) => uf.union(f, i),
+    let indexed: Vec<Option<BBox>> = boxes.iter().cloned().map(Some).collect();
+    let index = SpatialIndex::build(&indexed);
+    for (i, b) in boxes.iter().enumerate() {
+        for j in index.bbox_neighbors(b) {
+            if j < i {
+                uf.union(i, j);
+            }
         }
     }
+
+    collapse_groups(uf, segments, &boxes)
+}
+
+/// The pre-index interaction-graph construction: an x-interval sweep whose
+/// active list holds every x-overlapping box. Retained as the differential
+/// oracle of [`partition_segments`] — both must produce identical groups on
+/// every input. Cost `O(s log s + s·w)` where `w` is the sweep width.
+pub fn partition_segments_sweep(
+    segments: &[TaggedSegment],
+    n_regions: usize,
+) -> Vec<ComponentGroup> {
+    let s = segments.len();
+    let boxes: Vec<BBox> = segments.iter().map(|t| BBox::of_segment(&t.segment)).collect();
+    let mut uf = union_regions(segments, n_regions);
 
     // Interval sweep over x: segments whose x-ranges overlap are candidates;
     // union those whose y-ranges overlap too.
@@ -164,7 +199,31 @@ pub fn partition_segments(segments: &[TaggedSegment], n_regions: usize) -> Vec<C
         active.push(i);
     }
 
-    // Collapse to region groups keyed by the component root.
+    collapse_groups(uf, segments, &boxes)
+}
+
+/// All segments of one region are connected (a region boundary is a single
+/// closed curve): link them through the first segment seen per region.
+fn union_regions(segments: &[TaggedSegment], n_regions: usize) -> UnionFind {
+    let mut uf = UnionFind::new(segments.len());
+    let mut first_of_region: Vec<Option<usize>> = vec![None; n_regions];
+    for (i, t) in segments.iter().enumerate() {
+        match first_of_region[t.region] {
+            None => first_of_region[t.region] = Some(i),
+            Some(f) => uf.union(f, i),
+        }
+    }
+    uf
+}
+
+/// Collapse a fully unioned segment forest to region groups keyed by the
+/// component root.
+fn collapse_groups(
+    mut uf: UnionFind,
+    segments: &[TaggedSegment],
+    boxes: &[BBox],
+) -> Vec<ComponentGroup> {
+    let s = segments.len();
     let mut groups: Vec<(Vec<usize>, Option<BBox>)> = Vec::new();
     let mut group_of_root: std::collections::BTreeMap<usize, usize> =
         std::collections::BTreeMap::new();
@@ -247,6 +306,46 @@ mod tests {
     #[test]
     fn empty_instance_has_no_groups() {
         assert!(partition_instance(&SpatialInstance::new()).is_empty());
+    }
+
+    #[test]
+    fn index_partition_matches_sweep_oracle() {
+        // The indexed interaction-graph construction and the retained
+        // x-interval sweep must produce identical groups.
+        let mut instances = vec![
+            SpatialInstance::new(),
+            fixtures::fig_1c(),
+            SpatialInstance::from_regions([
+                ("A", Region::rect_from_ints(0, 0, 2, 2)),
+                ("B", Region::rect_from_ints(1, 1, 3, 3)),
+                ("C", Region::rect_from_ints(50, 50, 52, 52)),
+                ("D", Region::rect_from_ints(51, 40, 53, 51)),
+            ]),
+        ];
+        // A grid of touching squares: many segment-box contacts, one group.
+        let mut grid = SpatialInstance::new();
+        for r in 0..6i64 {
+            for c in 0..6i64 {
+                grid.insert(
+                    format!("G{r}{c}"),
+                    Region::rect_from_ints(4 * c, 4 * r, 4 * c + 4, 4 * r + 4),
+                );
+            }
+        }
+        instances.push(grid);
+        for (k, inst) in instances.iter().enumerate() {
+            let mut segments: Vec<TaggedSegment> = Vec::new();
+            for (idx, (_, region)) in inst.iter().enumerate() {
+                for segment in region.boundary().edges() {
+                    segments.push(TaggedSegment { segment, region: idx });
+                }
+            }
+            assert_eq!(
+                partition_segments(&segments, inst.len()),
+                partition_segments_sweep(&segments, inst.len()),
+                "instance {k}"
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ use crate::assemble::{
     ComponentComplex,
 };
 use crate::complex::{CellComplex, ComplexRead};
+use crate::index::SpatialIndex;
 use crate::types::*;
 use spatial_core::prelude::Point;
 use std::collections::BTreeMap;
@@ -98,6 +99,10 @@ pub struct GlobalComplexView {
     /// Number of label widenings performed by the accessor layer (shared by
     /// all clones of the view; see [`GlobalComplexView::label_widenings`]).
     widen_count: Arc<AtomicU64>,
+    /// Lazily built spatial index over the region bounding boxes, shared by
+    /// every clone of the view (and therefore by every evaluator of a
+    /// snapshot); see [`GlobalComplexView::region_bbox_index`].
+    bbox_index: Arc<OnceLock<Arc<SpatialIndex>>>,
 }
 
 /// The memoized widened labels of one component's cells.
@@ -197,8 +202,22 @@ impl GlobalComplexView {
             region_pos: Arc::new((0..k).map(|_| OnceLock::new()).collect()),
             widened: Arc::new((0..k).map(|_| OnceLock::new()).collect()),
             widen_count: Arc::new(AtomicU64::new(0)),
+            bbox_index: Arc::new(OnceLock::new()),
             components,
         }
+    }
+
+    /// The spatial index over the region bounding boxes of this view, built
+    /// on first use and shared by every clone (one build per snapshot). The
+    /// query planner draws its candidate generators from this index —
+    /// regions whose boxes don't interact are provably disjoint — and its
+    /// probe counter ([`SpatialIndex::probe_count`]) is the planner-work
+    /// metric surfaced by the bench snapshot.
+    pub fn region_bbox_index(&self) -> Arc<SpatialIndex> {
+        Arc::clone(
+            self.bbox_index
+                .get_or_init(|| Arc::new(SpatialIndex::build(&self.region_bboxes()))),
+        )
     }
 
     /// The component sub-complexes backing the view, in assembly order.
@@ -575,6 +594,26 @@ mod tests {
         // The pre-build clone shares the built memo: zero further widenings.
         assert_eq!(scan(&w), first);
         assert_eq!(w.label_widenings(), after_first, "clone must share the memo, not rebuild it");
+    }
+
+    #[test]
+    fn region_bbox_index_is_cached_and_answers_overlap() {
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 4, 4)),
+            ("B", Region::rect_from_ints(3, 3, 7, 7)),
+            ("C", Region::rect_from_ints(50, 50, 52, 52)),
+        ]);
+        let v = view_of(&inst);
+        let idx = v.region_bbox_index();
+        // One build per view, shared by clones.
+        assert!(Arc::ptr_eq(&idx, &v.clone().region_bbox_index()));
+        let bboxes = v.region_bboxes();
+        assert_eq!(bboxes.len(), 3);
+        let a = bboxes[0].as_ref().expect("A has a box");
+        // A's neighbors: itself and B (boxes overlap), not C.
+        assert_eq!(idx.bbox_neighbors(a), vec![0, 1]);
+        let c = bboxes[2].as_ref().expect("C has a box");
+        assert_eq!(idx.bbox_neighbors(c), vec![2]);
     }
 
     #[test]

@@ -228,6 +228,49 @@ pub fn clustered_map(clusters: usize, regions_per_cluster: usize, seed: u64) -> 
     inst
 }
 
+/// A Zipf-skewed clustered map: like [`clustered_map`], but the `total`
+/// regions are distributed over the `clusters` clusters with sizes
+/// proportional to `1 / rank` (cluster 0 the largest), apportioned exactly by
+/// largest-remainder rounding so the sizes always sum to `total` and every
+/// cluster receives at least one region (requires `total >= clusters`).
+/// Deterministic in the seed.
+///
+/// This is the skewed workload for the semi-join query planner: region
+/// density — and hence bbox-neighbor counts and candidate-set sizes — varies
+/// by orders of magnitude between the head cluster and the tail, so
+/// selectivity ordering and index-driven candidate generation are exercised
+/// on non-uniform data. Region `C{c:03}_R{r:03}` belongs to cluster `c`, as
+/// in [`clustered_map`].
+pub fn zipf_clustered_map(clusters: usize, total: usize, seed: u64) -> SpatialInstance {
+    assert!(clusters > 0 && total >= clusters, "need at least one region per cluster");
+    // Zipf weights 1/1, 1/2, ..., apportioned by largest remainder on top of
+    // the guaranteed one region per cluster.
+    let weights: Vec<f64> = (0..clusters).map(|c| 1.0 / (c + 1) as f64).collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let spare = (total - clusters) as f64;
+    let quotas: Vec<f64> = weights.iter().map(|w| spare * w / weight_sum).collect();
+    let mut sizes: Vec<usize> = quotas.iter().map(|q| 1 + q.floor() as usize).collect();
+    let mut order: Vec<usize> = (0..clusters).collect();
+    order.sort_by(|&a, &b| {
+        let (fa, fb) = (quotas[a].fract(), quotas[b].fract());
+        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let assigned: usize = sizes.iter().sum();
+    for &c in order.iter().take(total - assigned) {
+        sizes[c] += 1;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), total);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = SpatialInstance::new();
+    for (c, &size) in sizes.iter().enumerate() {
+        for r in 0..size {
+            inst.insert(format!("C{c:03}_R{r:03}"), cluster_rect(&mut rng, c, clusters));
+        }
+    }
+    inst
+}
+
 /// A "wide" multi-component map: `components` spatially separated pairs of
 /// overlapping rectangles, deterministic in the seed.
 ///
@@ -340,6 +383,36 @@ mod tests {
         // Names encode the cluster, and clusters never overlap: all of
         // cluster 0 stays inside [0, 100) x [0, 100), cluster 1 starts at
         // x = 100.
+        for (name, region) in a.iter() {
+            let (x0, _, x1, _) = region.bounding_box();
+            if name.starts_with("C000_") {
+                assert!(x1 < Rational::from_int(100), "{name} leaks out of cluster 0");
+            }
+            if name.starts_with("C001_") {
+                assert!(x0 >= Rational::from_int(100), "{name} leaks into cluster 0");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_clustered_map_sizes_and_determinism() {
+        let a = zipf_clustered_map(4, 20, 11);
+        assert_eq!(a, zipf_clustered_map(4, 20, 11));
+        assert_ne!(a, zipf_clustered_map(4, 20, 12));
+        assert_eq!(a.len(), 20);
+        // Cluster sizes are Zipf-skewed: counts decrease with rank and every
+        // cluster is nonempty. Weights 1/1,1/2,1/3,1/4 over 16 spare regions
+        // on top of 1 each → sizes [9, 5, 3, 3] or a largest-remainder
+        // neighbor; check the shape rather than exact values.
+        let count = |c: usize| {
+            a.iter().filter(|(n, _)| n.starts_with(&format!("C{c:03}_"))).count()
+        };
+        let sizes: Vec<usize> = (0..4).map(count).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 20);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "sizes decrease: {sizes:?}");
+        assert!(sizes[0] >= 2 * sizes[3], "head dominates tail: {sizes:?}");
+        assert!(sizes.iter().all(|&s| s >= 1));
+        // Clusters stay spatially separated, as in clustered_map.
         for (name, region) in a.iter() {
             let (x0, _, x1, _) = region.bounding_box();
             if name.starts_with("C000_") {

@@ -15,11 +15,14 @@
 //! invariant promised by Corollary 3.7, in executable form.
 
 use crate::ast::{Formula, NameTerm, RegionExpr};
-use arrangement::{build_complex_view, ComplexRead, Sign};
+use crate::plan::{planner_enabled, Generator, QueryPlan};
+use arrangement::{build_complex_view, BBox, ComplexRead, Sign, SpatialIndex};
 use relations::{FourIntersectionMatrix, Relation4};
 use spatial_core::prelude::SpatialInstance;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A region represented as the set of (bounded) faces it consists of.
 pub type FaceSet = BTreeSet<usize>;
@@ -74,14 +77,30 @@ pub struct CellEvaluator {
     edge_vertices: Vec<(usize, usize)>,
     /// For every vertex, its incident faces.
     vertex_faces: Vec<BTreeSet<usize>>,
-    /// Named regions as face sets.
-    named: BTreeMap<String, FaceSet>,
+    /// Region names in canonical (sorted) order. Name variables bind to
+    /// *indices* into this list during enumeration; strings are only
+    /// materialized for result rows.
+    names: Vec<String>,
+    /// Named regions as face sets, aligned with `names`.
+    name_sets: Vec<FaceSet>,
+    /// Bounding box of every named region's boundary, aligned with `names`
+    /// (`None` for a region contributing no boundary edge).
+    bboxes: Vec<Option<BBox>>,
+    /// The spatial index over `bboxes`, built on first planner use — or
+    /// pre-seeded with the snapshot-cached index via
+    /// [`CellEvaluator::with_spatial_index`] so all evaluators of one
+    /// snapshot share one build.
+    index: OnceLock<Arc<SpatialIndex>>,
+    /// Number of candidate values tried during binding enumeration (naive
+    /// and planned paths both count; shared by clones). See
+    /// [`CellEvaluator::assignments_tried`].
+    assignments: Arc<AtomicU64>,
     /// All legitimate quantifier values (disc-like unions of bounded faces),
     /// enumerated lazily on first use. A [`std::sync::OnceLock`] (not a
     /// `Cell`-based cache) so the evaluator is `Sync` and can serve query
     /// traffic from many threads at once — the `topodb::Snapshot` read path
     /// shares one evaluator per snapshot.
-    domain: std::sync::OnceLock<Result<Vec<FaceSet>, EvalError>>,
+    domain: OnceLock<Result<Vec<FaceSet>, EvalError>>,
     /// Cap on the number of candidate regions.
     domain_cap: usize,
 }
@@ -120,15 +139,13 @@ impl CellEvaluator {
                 vertex_faces[v.0].insert(f.0);
             }
         }
-        let named = complex
-            .region_names()
+        let names: Vec<String> = complex.region_names().to_vec();
+        debug_assert!(names.windows(2).all(|w| w[0] < w[1]), "region names are sorted");
+        let name_sets: Vec<FaceSet> = names
             .iter()
-            .map(|name| {
-                let faces: FaceSet =
-                    complex.region_faces(name).into_iter().map(|f| f.0).collect();
-                (name.clone(), faces)
-            })
+            .map(|name| complex.region_faces(name).into_iter().map(|f| f.0).collect())
             .collect();
+        let bboxes = complex.region_bboxes();
         CellEvaluator {
             face_count,
             exterior,
@@ -136,8 +153,12 @@ impl CellEvaluator {
             edge_faces,
             edge_vertices,
             vertex_faces,
-            named,
-            domain: std::sync::OnceLock::new(),
+            names,
+            name_sets,
+            bboxes,
+            index: OnceLock::new(),
+            assignments: Arc::new(AtomicU64::new(0)),
+            domain: OnceLock::new(),
             domain_cap: 100_000,
         }
     }
@@ -148,14 +169,46 @@ impl CellEvaluator {
         self
     }
 
+    /// Pre-seed the evaluator's spatial index with an already-built one
+    /// (typically the snapshot-cached
+    /// `GlobalComplexView::region_bbox_index`), so every evaluator of a
+    /// snapshot shares one index build and one probe counter. A no-op if the
+    /// evaluator already built its own.
+    pub fn with_spatial_index(self, index: Arc<SpatialIndex>) -> CellEvaluator {
+        let _ = self.index.set(index);
+        self
+    }
+
+    /// The spatial index over the named regions' bounding boxes, built on
+    /// first use (unless pre-seeded via
+    /// [`CellEvaluator::with_spatial_index`]). The query planner draws its
+    /// bbox-neighbor candidate generators from it.
+    pub fn spatial_index(&self) -> &Arc<SpatialIndex> {
+        self.index.get_or_init(|| Arc::new(SpatialIndex::build(&self.bboxes)))
+    }
+
+    /// How many candidate values the binding enumerators have tried (naive
+    /// and planned paths both count one per variable-value attempt; the
+    /// counter is shared by all clones). Together with
+    /// [`SpatialIndex::probe_count`] this is the planner-work metric
+    /// recorded by the bench snapshot.
+    pub fn assignments_tried(&self) -> u64 {
+        self.assignments.load(Ordering::Relaxed)
+    }
+
     /// The region names known to the evaluator.
     pub fn names(&self) -> Vec<&str> {
-        self.named.keys().map(String::as_str).collect()
+        self.names.iter().map(String::as_str).collect()
+    }
+
+    /// The index of a region name in the canonical (sorted) name order.
+    fn name_index(&self, name: &str) -> Option<usize> {
+        self.names.binary_search_by(|n| n.as_str().cmp(name)).ok()
     }
 
     /// The face set of a named region.
     pub fn named_region(&self, name: &str) -> Option<&FaceSet> {
-        self.named.get(name)
+        Some(&self.name_sets[self.name_index(name)?])
     }
 
     /// All legitimate quantifier values: nonempty, dual-connected,
@@ -419,10 +472,25 @@ impl CellEvaluator {
         formula: &Formula,
         free: &[String],
     ) -> Result<Vec<Bindings>, EvalError> {
-        let names: Vec<String> = self.named.keys().cloned().collect();
+        if free.is_empty() || !planner_enabled() {
+            return self.eval_bindings_naive(formula, free);
+        }
+        self.eval_bindings_planned(formula, &QueryPlan::build(formula, free))
+    }
+
+    /// The cartesian-product enumerator: every assignment of `free` over
+    /// `names(I)` is tried and the formula evaluated on each — `O(n^k)`
+    /// evaluations. Kept as the planner's differential oracle (the
+    /// `QUERY_PLANNER=off` path); see [`CellEvaluator::eval_bindings`] and
+    /// the crate docs' "Planning model" section.
+    pub fn eval_bindings_naive(
+        &self,
+        formula: &Formula,
+        free: &[String],
+    ) -> Result<Vec<Bindings>, EvalError> {
         let mut env = Environment::default();
         let mut out = Vec::new();
-        self.eval_bindings_inner(formula, free, &names, &mut env, &mut out)?;
+        self.eval_bindings_inner(formula, free, &mut env, &mut out)?;
         Ok(out)
     }
 
@@ -430,42 +498,296 @@ impl CellEvaluator {
         &self,
         formula: &Formula,
         free: &[String],
-        names: &[String],
         env: &mut Environment,
         out: &mut Vec<Bindings>,
     ) -> Result<(), EvalError> {
         match free.split_first() {
             None => {
                 if self.eval_inner(formula, env)? {
-                    out.push(env.names.clone());
+                    out.push(self.materialize_row(&env.names));
                 }
                 Ok(())
             }
             Some((var, rest)) => {
-                for name in names {
-                    env.names.insert(var.clone(), name.clone());
-                    let result = self.eval_bindings_inner(formula, rest, names, env, out);
-                    env.names.remove(var);
-                    result?;
+                // Bind by *index*, mutating one map slot per candidate — no
+                // per-candidate string clones in the hot loop.
+                env.names.insert(var.clone(), usize::MAX);
+                let mut result = Ok(());
+                for idx in 0..self.names.len() {
+                    self.assignments.fetch_add(1, Ordering::Relaxed);
+                    *env.names.get_mut(var).expect("bound above") = idx;
+                    result = self.eval_bindings_inner(formula, rest, env, out);
+                    if result.is_err() {
+                        break;
+                    }
                 }
-                Ok(())
+                env.names.remove(var);
+                result
             }
         }
     }
 
-    fn resolve_name(&self, t: &NameTerm, env: &Environment) -> Result<String, EvalError> {
+    /// Run the semi-join enumerator of a pre-built [`QueryPlan`] (whose
+    /// variable list must describe `formula`'s free variables — this is what
+    /// [`crate::PreparedQuery`] stores at compile time). See the crate docs'
+    /// "Planning model" section for the strategy and its guarantees.
+    pub fn eval_bindings_planned(
+        &self,
+        formula: &Formula,
+        plan: &QueryPlan,
+    ) -> Result<Vec<Bindings>, EvalError> {
+        let k = plan.vars().len();
+        if k == 0 {
+            return self.eval_bindings_naive(formula, &[]);
+        }
+        if self.names.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut ctx = PlanCtx::new(self.names.len());
+        let order = self.plan_order_ids(plan, &mut ctx);
+        let mut pos_of = vec![0usize; k];
+        for (p, &v) in order.iter().enumerate() {
+            pos_of[v] = p;
+        }
+
+        // Schedule every conjunct at the earliest position where all its
+        // plan variables are bound; variable-free conjuncts run up front
+        // (pruning the whole enumeration when one is false).
+        let mut ready_at: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut env = Environment::default();
+        for (ci, conjunct) in plan.conjuncts().iter().enumerate() {
+            match conjunct.vars.iter().map(|&v| pos_of[v]).max() {
+                Some(last) => ready_at[last].push(ci),
+                None => {
+                    if !self.eval_inner(&conjunct.formula, &mut env)? {
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+        }
+
+        let mut assignment: Vec<usize> = vec![usize::MAX; k];
+        let mut rows: Vec<Vec<usize>> = Vec::new();
+        self.enumerate_planned(
+            0,
+            &order,
+            &ready_at,
+            plan,
+            &mut ctx,
+            &mut env,
+            &mut assignment,
+            &mut rows,
+        )?;
+        // The enumeration visits variables in selectivity order; the output
+        // contract (matching the naive path) is lexicographic in the *free*
+        // variable order, which — names being sorted — is exactly the index
+        // order of the assignment vectors.
+        rows.sort_unstable();
+        Ok(rows
+            .into_iter()
+            .map(|vals| {
+                plan.vars()
+                    .iter()
+                    .zip(&vals)
+                    .map(|(v, &i)| (v.clone(), self.names[i].clone()))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// The planner's variable binding order: greedy smallest-estimated
+    /// candidate set first (see [`CellEvaluator::planned_var_order`]).
+    fn plan_order_ids(&self, plan: &QueryPlan, ctx: &mut PlanCtx) -> Vec<usize> {
+        let k = plan.vars().len();
+        let mut order: Vec<usize> = Vec::with_capacity(k);
+        let mut placed = vec![false; k];
+        for _ in 0..k {
+            let mut best: Option<(usize, usize)> = None;
+            for v in 0..k {
+                if placed[v] {
+                    continue;
+                }
+                let est = self.estimate_candidates(plan.generators(v), &placed, ctx);
+                if best.is_none_or(|(be, _)| est < be) {
+                    best = Some((est, v));
+                }
+            }
+            let (_, v) = best.expect("an unplaced variable remains");
+            placed[v] = true;
+            order.push(v);
+        }
+        order
+    }
+
+    /// Estimated candidate-set size of a variable given which variables are
+    /// already ordered before it: 1 for an exact pin, the index-reported
+    /// neighbor count for a constant contact, the instance's average bbox
+    /// degree for a contact with an earlier variable, `n` when
+    /// unconstrained. The minimum over the usable generators.
+    fn estimate_candidates(
+        &self,
+        generators: &[Generator],
+        placed: &[bool],
+        ctx: &mut PlanCtx,
+    ) -> usize {
+        let n = self.names.len();
+        let mut est = n;
+        for g in generators {
+            let e = match g {
+                Generator::ExactConst(c) => self.name_index(c).map(|_| 1),
+                Generator::ExactVar(u) => placed[*u].then_some(1),
+                Generator::NeighborsOfConst(c) => self
+                    .name_index(c)
+                    .and_then(|i| self.neighbor_count(i, ctx)),
+                Generator::NeighborsOfVar(u) => {
+                    placed[*u].then(|| self.average_degree(ctx))
+                }
+            };
+            if let Some(e) = e {
+                est = est.min(e);
+            }
+        }
+        est
+    }
+
+    /// The planner's variable binding order for a plan, by name — greedy
+    /// selectivity ordering, exposed for inspection and tests. The first
+    /// variable is the one with the smallest estimated candidate set (ties
+    /// broken by plan position, so the order is deterministic).
+    pub fn planned_var_order(&self, plan: &QueryPlan) -> Vec<String> {
+        let mut ctx = PlanCtx::new(self.names.len());
+        self.plan_order_ids(plan, &mut ctx)
+            .into_iter()
+            .map(|v| plan.vars()[v].clone())
+            .collect()
+    }
+
+    /// The cached bbox-neighbor list of a named region (`None` when the
+    /// region has no box — then nothing can be pruned through it).
+    fn neighbor_list<'c>(&self, i: usize, ctx: &'c mut PlanCtx) -> Option<&'c Vec<usize>> {
+        self.bboxes[i].as_ref()?;
+        Some(ctx.neighbors[i].get_or_insert_with(|| {
+            self.spatial_index()
+                .bbox_neighbors(self.bboxes[i].as_ref().expect("checked above"))
+        }))
+    }
+
+    fn neighbor_count(&self, i: usize, ctx: &mut PlanCtx) -> Option<usize> {
+        self.neighbor_list(i, ctx).map(Vec::len)
+    }
+
+    /// Average bbox-neighbor count over all names (the planner's stand-in
+    /// selectivity for contact atoms whose other side is not yet bound),
+    /// computed once per evaluation.
+    fn average_degree(&self, ctx: &mut PlanCtx) -> usize {
+        if let Some(d) = ctx.avg_degree {
+            return d;
+        }
+        let n = self.names.len();
+        let total: usize =
+            (0..n).map(|i| self.neighbor_count(i, ctx).unwrap_or(n)).sum();
+        let d = (total / n.max(1)).max(1);
+        ctx.avg_degree = Some(d);
+        d
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_planned(
+        &self,
+        pos: usize,
+        order: &[usize],
+        ready_at: &[Vec<usize>],
+        plan: &QueryPlan,
+        ctx: &mut PlanCtx,
+        env: &mut Environment,
+        assignment: &mut Vec<usize>,
+        rows: &mut Vec<Vec<usize>>,
+    ) -> Result<(), EvalError> {
+        if pos == order.len() {
+            rows.push(assignment.clone());
+            return Ok(());
+        }
+        let var_id = order[pos];
+        let var = &plan.vars()[var_id];
+
+        // Intersect the candidate sets of every generator usable at this
+        // point; no usable generator means the full name range. A generator
+        // that fails to resolve (unknown constant, boxless region) is
+        // skipped — pruning may only shrink, never decide; the conjunct
+        // itself still runs as a filter below.
+        let mut candidates: Option<Vec<usize>> = None;
+        for g in plan.generators(var_id) {
+            let set: Option<Vec<usize>> = match g {
+                Generator::ExactConst(c) => self.name_index(c).map(|i| vec![i]),
+                Generator::ExactVar(u) => {
+                    (assignment[*u] != usize::MAX).then(|| vec![assignment[*u]])
+                }
+                Generator::NeighborsOfConst(c) => self
+                    .name_index(c)
+                    .and_then(|i| self.neighbor_list(i, ctx).cloned()),
+                Generator::NeighborsOfVar(u) => (assignment[*u] != usize::MAX)
+                    .then(|| self.neighbor_list(assignment[*u], ctx).cloned())
+                    .flatten(),
+            };
+            if let Some(set) = set {
+                candidates = Some(match candidates {
+                    None => set,
+                    Some(prev) => intersect_sorted(&prev, &set),
+                });
+            }
+        }
+        let candidates =
+            candidates.unwrap_or_else(|| (0..self.names.len()).collect());
+
+        env.names.insert(var.clone(), usize::MAX);
+        for idx in candidates {
+            self.assignments.fetch_add(1, Ordering::Relaxed);
+            assignment[var_id] = idx;
+            *env.names.get_mut(var).expect("bound above") = idx;
+            // Semi-join filters: every conjunct whose last variable is this
+            // one is decided now, pruning the whole subtree on failure.
+            let mut keep = true;
+            for &ci in &ready_at[pos] {
+                if !self.eval_inner(&plan.conjuncts()[ci].formula, env)? {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                self.enumerate_planned(
+                    pos + 1,
+                    order,
+                    ready_at,
+                    plan,
+                    ctx,
+                    env,
+                    assignment,
+                    rows,
+                )?;
+            }
+        }
+        assignment[var_id] = usize::MAX;
+        env.names.remove(var);
+        Ok(())
+    }
+
+    /// Materialize a result row from the interned environment.
+    fn materialize_row(&self, names_env: &BTreeMap<String, usize>) -> Bindings {
+        names_env
+            .iter()
+            .map(|(v, &i)| (v.clone(), self.names[i].clone()))
+            .collect()
+    }
+
+    fn resolve_name(&self, t: &NameTerm, env: &Environment) -> Result<usize, EvalError> {
         match t {
             NameTerm::Const(c) => {
-                if self.named.contains_key(c) {
-                    Ok(c.clone())
-                } else {
-                    Err(EvalError::UnknownName(c.clone()))
-                }
+                self.name_index(c).ok_or_else(|| EvalError::UnknownName(c.clone()))
             }
             NameTerm::Var(v) => env
                 .names
                 .get(v)
-                .cloned()
+                .copied()
                 .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
         }
     }
@@ -478,8 +800,8 @@ impl CellEvaluator {
                 .cloned()
                 .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
             RegionExpr::Ext(t) => {
-                let name = self.resolve_name(t, env)?;
-                Ok(self.named[&name].clone())
+                let idx = self.resolve_name(t, env)?;
+                Ok(self.name_sets[idx].clone())
             }
         }
     }
@@ -574,11 +896,10 @@ impl CellEvaluator {
         env: &mut Environment,
         existential: bool,
     ) -> Result<bool, EvalError> {
-        let names: Vec<String> = self.named.keys().cloned().collect();
         let saved = env.names.remove(var);
         let mut result = Ok(!existential);
-        for name in names {
-            env.names.insert(var.to_string(), name);
+        for idx in 0..self.names.len() {
+            env.names.insert(var.to_string(), idx);
             match self.eval_inner(body, env) {
                 Ok(b) if b == existential => {
                     result = Ok(existential);
@@ -599,10 +920,44 @@ impl CellEvaluator {
     }
 }
 
+/// Variable bindings during evaluation. Name variables bind to *indices*
+/// into the evaluator's sorted name list (interning — the enumeration hot
+/// loops never clone a name string); region variables bind to face sets.
 #[derive(Default)]
 struct Environment {
     regions: BTreeMap<String, FaceSet>,
-    names: BTreeMap<String, String>,
+    names: BTreeMap<String, usize>,
+}
+
+/// Per-evaluation planner scratch: lazily-filled bbox-neighbor lists (one
+/// probe per region per evaluation at most) and the memoized average degree.
+struct PlanCtx {
+    neighbors: Vec<Option<Vec<usize>>>,
+    avg_degree: Option<usize>,
+}
+
+impl PlanCtx {
+    fn new(n: usize) -> PlanCtx {
+        PlanCtx { neighbors: vec![None; n], avg_degree: None }
+    }
+}
+
+/// Intersection of two ascending-sorted index lists.
+fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Evaluate a sentence on an instance (builds the cell complex and the

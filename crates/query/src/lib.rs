@@ -11,10 +11,13 @@
 //!   instance's cell complex (this is what answers the paper's Example 4.1 /
 //!   4.2 separating queries); formulas with free name variables evaluate as
 //!   *set-returning* queries via [`CellEvaluator::eval_bindings`];
-//! * [`prepared`] — [`PreparedQuery`]: parse + free-variable analysis once,
-//!   run against any snapshot/complex many times, producing
-//!   [`QueryOutput::Bool`] for sentences and [`QueryOutput::Bindings`] for
-//!   open formulas;
+//! * [`plan`] — [`QueryPlan`]: compile-time analysis of an open formula into
+//!   top-level conjuncts and per-variable candidate generators, driving the
+//!   semi-join enumeration below;
+//! * [`prepared`] — [`PreparedQuery`]: parse + free-variable analysis + plan
+//!   construction once, run against any snapshot/complex many times,
+//!   producing [`QueryOutput::Bool`] for sentences and
+//!   [`QueryOutput::Bindings`] for open formulas;
 //! * [`thematic_eval`] — Corollary 3.7: answering the quantifier-free
 //!   fragment by first-order queries over the thematic relational database;
 //! * [`rect_eval`] — Theorem 6.4: effective evaluation of `FO(Rect, Rect)` by
@@ -39,6 +42,48 @@
 //! assert_eq!(eval_on_instance(&fixtures::fig_1a(), &q), Ok(true));
 //! assert_eq!(eval_on_instance(&fixtures::fig_1b(), &q), Ok(false));
 //! ```
+//!
+//! ## Planning model
+//!
+//! An open formula with `k` free name variables is a set-returning query.
+//! The baseline evaluation is a cartesian product — every assignment in
+//! `names(I)^k` is tried, `O(n^k)` full formula evaluations — and it remains
+//! available, both as [`CellEvaluator::eval_bindings_naive`] and as the
+//! active path whenever the `QUERY_PLANNER` environment variable is set to
+//! `0`/`off`/`naive`/`false` (see [`plan::planner_enabled`]). The planned
+//! path layers three ideas on top of it:
+//!
+//! 1. **Compile-time atom analysis** ([`QueryPlan::build`], stored inside
+//!    [`PreparedQuery`]). The top-level conjunction is flattened; each
+//!    positive contact-implying atom (`connect`, `subset`, any 4-intersection
+//!    relation except `disjoint`) or name equation over region *extents*
+//!    contributes a candidate *generator* for the free variables it touches.
+//! 2. **Selectivity-ordered enumeration** (in
+//!    [`CellEvaluator::eval_bindings_planned`]). Variables are bound
+//!    greedily, smallest estimated candidate set first: an exact pin
+//!    estimates 1, a constant-contact generator estimates the spatial index's
+//!    bbox-neighbor count of that constant, a variable-contact generator the
+//!    instance's average bbox degree, and an unconstrained variable `n`. The
+//!    chosen order is observable via [`CellEvaluator::planned_var_order`].
+//! 3. **Semi-join filtering.** Each conjunct is evaluated at the earliest
+//!    position where all its plan variables are bound, so a failing
+//!    assignment prefix is pruned before the remaining variables each
+//!    multiply the work by `n`. Candidate sets themselves come from the
+//!    STR-packed R-tree over exact rational region bounding boxes
+//!    ([`arrangement::SpatialIndex`], shared with the snapshot through
+//!    `GlobalComplexView::region_bbox_index`): closure contact implies bbox
+//!    intersection, so bbox neighborhoods *over*-approximate the satisfying
+//!    values and the conjunct filters finish the job — never the other way
+//!    around, which is what keeps the planner sound.
+//!
+//! Both paths produce the same rows in the same (lexicographic) order for
+//! every formula whose naive evaluation completes without error; the
+//! randomized differential suite in `tests/planner_differential.rs` pins
+//! this. On *erroring* formulas the two paths may differ (the planner can
+//! prune an assignment before the erroring subformula runs, or meet a
+//! different erroring assignment first) — errors are reported faithfully but
+//! which error surfaces is unspecified, exactly as subformula evaluation
+//! order is unspecified inside one conjunct.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +93,7 @@ pub mod cell_eval;
 pub mod complete;
 pub mod derived;
 pub mod parser;
+pub mod plan;
 pub mod point_lang;
 pub mod prepared;
 pub mod rect_eval;
@@ -56,4 +102,5 @@ pub mod thematic_eval;
 pub use ast::{Formula, NameTerm, Query, RegionExpr};
 pub use cell_eval::{eval_on_instance, Bindings, CellEvaluator, EvalError};
 pub use parser::{parse, ParseError};
+pub use plan::QueryPlan;
 pub use prepared::{PrepareError, PreparedQuery, QueryOutput};

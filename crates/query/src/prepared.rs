@@ -35,6 +35,7 @@
 use crate::ast::Formula;
 use crate::cell_eval::{Bindings, CellEvaluator, EvalError};
 use crate::parser::{parse, ParseError};
+use crate::plan::{planner_enabled, QueryPlan};
 use arrangement::ComplexRead;
 use std::fmt;
 
@@ -131,8 +132,10 @@ impl From<ParseError> for PrepareError {
 /// The compile-time "plan" is everything that does not depend on the data:
 /// the AST, the ordered list of free name variables (which determines the
 /// output shape: empty list → [`QueryOutput::Bool`], otherwise
-/// [`QueryOutput::Bindings`]), and the up-front rejection of formulas that
-/// could only fail at run time (free region variables). Running the same
+/// [`QueryOutput::Bindings`]), the semi-join [`QueryPlan`] for open queries
+/// (conjunct split + candidate generators; see the crate docs' "Planning
+/// model" section), and the up-front rejection of formulas that could only
+/// fail at run time (free region variables). Running the same
 /// `PreparedQuery` against snapshots from different epochs re-uses all of it
 /// and answers each snapshot from *its* cell complex — prepared queries hold
 /// no instance data and are freely shared across threads.
@@ -141,6 +144,7 @@ pub struct PreparedQuery {
     text: Option<String>,
     formula: Formula,
     free_names: Vec<String>,
+    plan: Option<QueryPlan>,
 }
 
 impl PreparedQuery {
@@ -158,7 +162,9 @@ impl PreparedQuery {
             return Err(PrepareError::FreeRegionVariable(v));
         }
         let free_names = formula.free_name_vars();
-        Ok(PreparedQuery { text: None, formula, free_names })
+        let plan = (!free_names.is_empty())
+            .then(|| QueryPlan::build(&formula, &free_names));
+        Ok(PreparedQuery { text: None, formula, free_names, plan })
     }
 
     /// The original query text, when compiled from text.
@@ -198,16 +204,24 @@ impl PreparedQuery {
             .fold(self.formula.clone(), |acc, v| Formula::exists_name(v.clone(), acc))
     }
 
+    /// The compile-time semi-join plan, present iff the query is open.
+    pub fn plan(&self) -> Option<&QueryPlan> {
+        self.plan.as_ref()
+    }
+
     /// Run against an existing evaluator (the cheapest path when several
-    /// queries hit one snapshot: the evaluator's domain enumeration is
-    /// shared).
+    /// queries hit one snapshot: the evaluator's domain enumeration and
+    /// spatial index are shared). Open queries use the stored semi-join
+    /// plan unless `QUERY_PLANNER` disables the planner.
     pub fn run_on(&self, evaluator: &CellEvaluator) -> Result<QueryOutput, EvalError> {
-        if self.free_names.is_empty() {
-            evaluator.eval(&self.formula).map(QueryOutput::Bool)
-        } else {
-            evaluator
-                .eval_bindings(&self.formula, &self.free_names)
-                .map(QueryOutput::Bindings)
+        match &self.plan {
+            None => evaluator.eval(&self.formula).map(QueryOutput::Bool),
+            Some(plan) if planner_enabled() => evaluator
+                .eval_bindings_planned(&self.formula, plan)
+                .map(QueryOutput::Bindings),
+            Some(_) => evaluator
+                .eval_bindings_naive(&self.formula, &self.free_names)
+                .map(QueryOutput::Bindings),
         }
     }
 

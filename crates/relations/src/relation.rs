@@ -59,6 +59,20 @@ impl Relation4 {
         }
     }
 
+    /// Does the relation imply that the closures of the two regions share at
+    /// least one point? True for every relation except [`Relation4::Disjoint`]
+    /// (whose definition is exactly closure-disjointness).
+    ///
+    /// This is the spatial grounding of the query planner's candidate
+    /// generators: an atom asserting a closure-contact-implying relation
+    /// between a variable and a bound region can only be satisfied by
+    /// regions whose bounding boxes intersect that region's box, so the
+    /// variable ranges over the spatial index's bbox neighbors instead of
+    /// all names.
+    pub fn implies_closure_contact(self) -> bool {
+        self != Relation4::Disjoint
+    }
+
     /// The relation's conventional lowercase name.
     pub fn name(self) -> &'static str {
         match self {

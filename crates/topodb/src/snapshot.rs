@@ -144,10 +144,23 @@ impl Snapshot {
     /// The shared cell-complex query evaluator of this snapshot, built on
     /// first use. Exposed so callers running many [`PreparedQuery`]s can
     /// amortize even the `Arc` clone; `query`/`evaluate` use it internally.
+    /// The evaluator is seeded with the snapshot's cached spatial index
+    /// ([`Snapshot::spatial_index`]), so the semi-join planner never builds
+    /// a second one.
     pub fn evaluator(&self) -> Arc<CellEvaluator> {
         Arc::clone(self.inner.evaluator.get_or_init(|| {
-            Arc::new(CellEvaluator::from_complex(self.inner.view.as_ref()))
+            Arc::new(
+                CellEvaluator::from_complex(self.inner.view.as_ref())
+                    .with_spatial_index(self.inner.view.region_bbox_index()),
+            )
         }))
+    }
+
+    /// The STR-packed R-tree over this snapshot's region bounding boxes,
+    /// built once per epoch inside the view and shared by the query planner
+    /// ([`Snapshot::evaluator`]) and any direct spatial probing.
+    pub fn spatial_index(&self) -> Arc<arrangement::SpatialIndex> {
+        self.inner.view.region_bbox_index()
     }
 
     /// Parse and evaluate a query in the concrete syntax of the `query`

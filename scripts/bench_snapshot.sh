@@ -3,16 +3,17 @@
 #
 # Runs the splitting-phase scaling group (`splitting_sweep_vs_naive`), the
 # incremental-maintenance groups (`incremental_update`, `batch_update`), the
-# assembly groups (`assemble_view_vs_copy`, `parallel_cold_build`) and the
-# intra-component strip-sweep group (`strip_sweep`), merges their
-# machine-readable records into one snapshot (default:
+# assembly groups (`assemble_view_vs_copy`, `parallel_cold_build`), the
+# intra-component strip-sweep group (`strip_sweep`) and the open-query
+# planner group (`planner_bindings`, including its work-counter metrics),
+# merges their machine-readable records into one snapshot (default:
 # BENCH_arrangement.json at the repository root), and then compares the fresh
 # run against the previously committed snapshot:
 #
 #   * every benchmark present in both runs gets a printed delta;
-#   * a >25% slowdown in any `sweep/*`, `assemble_view_vs_copy/view/*` or
-#     `strip_sweep/serial/*` entry is a tracked regression and fails the
-#     script (exit non-zero);
+#   * a >25% slowdown in any `sweep/*`, `assemble_view_vs_copy/view/*`,
+#     `strip_sweep/serial/*` or `planner_bindings/planned/*` entry is a
+#     tracked regression and fails the script (exit non-zero);
 #   * the sweep must still beat the naive splitter, the incremental update
 #     path must beat the full rebuild, a k-insert transaction must beat k
 #     sequential insert+read rounds, and the zero-copy view assembly must
@@ -20,7 +21,9 @@
 #   * on multi-core hosts, the parallel cold build on all threads must beat
 #     the single-thread build, and the strip-decomposed sweep on all threads
 #     must beat the monolithic sweep by >1.5x on the dense single-component
-#     map (both skipped on single-core hosts, where no speedup is possible).
+#     map (both skipped on single-core hosts, where no speedup is possible);
+#   * the semi-join planner must beat the cartesian-product enumerator by
+#     >10x on the anchored 2-variable open query at the largest size.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -50,7 +53,8 @@ scaling_json="$(mktemp)"
 incremental_json="$(mktemp)"
 assembly_json="$(mktemp)"
 strip_json="$(mktemp)"
-trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" "${strip_json}" ${baseline:+"${baseline}"}' EXIT
+planner_json="$(mktemp)"
+trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" "${strip_json}" "${planner_json}" ${baseline:+"${baseline}"}' EXIT
 
 echo "running splitting_sweep_vs_naive scaling group" >&2
 BENCH_JSON="${scaling_json}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
@@ -60,6 +64,8 @@ echo "running assemble_view_vs_copy and parallel_cold_build groups" >&2
 BENCH_JSON="${assembly_json}" cargo bench -p bench --bench assembly
 echo "running strip_sweep group" >&2
 BENCH_JSON="${strip_json}" cargo bench -p bench --bench strip
+echo "running planner_bindings group" >&2
+BENCH_JSON="${planner_json}" cargo bench -p bench --bench planner
 
 # Merge the JSON arrays (each file is one record per line between the
 # bracket lines, so a line-level merge is exact).
@@ -70,6 +76,7 @@ BENCH_JSON="${strip_json}" cargo bench -p bench --bench strip
         sed -e '1d' -e '$d' "${incremental_json}"
         sed -e '1d' -e '$d' "${assembly_json}"
         sed -e '1d' -e '$d' "${strip_json}"
+        sed -e '1d' -e '$d' "${planner_json}"
     } | sed -e 's/},\{0,1\}$/},/' -e '$ s/},$/}/'
     echo "]"
 } > "${abs_out}"
@@ -184,9 +191,41 @@ elif [ -n "${largest_strip}" ]; then
     echo "single-core host (${cores}): skipping the strip-sweep speedup gate (series measure decomposition overhead here)" >&2
 fi
 
+# Sanity 6: the semi-join planner beats the cartesian-product enumerator by
+# >10x on the anchored 2-variable open query at the largest benched size,
+# and its work counters confirm the pruning (strictly fewer assignments
+# tried than naive).
+extract_value() { # file id -> value (empty if absent)
+    grep -F "\"id\": \"$2\"" "$1" | grep -o '"value": [0-9.]*' | grep -o '[0-9.]*$' | head -1
+}
+largest_plan=$({ grep -o '"id": "planner_bindings/naive/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_plan}" ]; then
+    planned_ns=$(extract_ns "${out}" "planner_bindings/planned/${largest_plan}")
+    naive_ns=$(extract_ns "${out}" "planner_bindings/naive/${largest_plan}")
+    speedup=$(awk -v p="${planned_ns}" -v n="${naive_ns}" 'BEGIN { printf "%.1f", n / p }')
+    echo "planner at n=${largest_plan}: planned ${planned_ns} ns vs naive ${naive_ns} ns (${speedup}x, required >10x)" >&2
+    if [ "$(awk -v p="${planned_ns}" -v n="${naive_ns}" 'BEGIN { print (p * 10 < n) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: the planner did not beat the naive enumerator by >10x at n=${largest_plan}" >&2
+        exit 1
+    fi
+    planned_work=$(extract_value "${out}" "planner_bindings/assignments_planned/${largest_plan}")
+    naive_work=$(extract_value "${out}" "planner_bindings/assignments_naive/${largest_plan}")
+    probes=$(extract_value "${out}" "planner_bindings/index_probes/${largest_plan}")
+    echo "planner work at n=${largest_plan}: ${planned_work} assignments (naive ${naive_work}), ${probes} index probes" >&2
+    if [ -n "${planned_work}" ] && [ -n "${naive_work}" ]; then
+        if [ "$(awk -v p="${planned_work}" -v n="${naive_work}" 'BEGIN { print (p < n) ? "yes" : "no" }')" != "yes" ]; then
+            echo "error: the planner tried no fewer assignments than the naive enumerator" >&2
+            exit 1
+        fi
+    fi
+fi
+
 # Perf trajectory: per-benchmark deltas against the committed snapshot; a
-# >25% slowdown in any sweep/*, assemble_view_vs_copy/view/* or
-# strip_sweep/serial/* entry fails.
+# >25% slowdown in any sweep/*, assemble_view_vs_copy/view/*,
+# strip_sweep/serial/* or planner_bindings/planned/* entry fails.
+# Work-metric records ({id, value}) are informational and not gated here
+# (the planner's assignments-tried gate above covers them).
 if [ -n "${baseline}" ]; then
     echo "--- perf trajectory vs committed snapshot ---" >&2
     awk '
@@ -210,7 +249,7 @@ if [ -n "${baseline}" ]; then
                 delta = (new[id] - old[id]) / old[id] * 100
                 flag = ""
                 gated = index(id, "/sweep/") > 0 || index(id, "assemble_view_vs_copy/view/") > 0 \
-                    || index(id, "strip_sweep/serial/") > 0
+                    || index(id, "strip_sweep/serial/") > 0 || index(id, "planner_bindings/planned/") > 0
                 if (gated && delta > 25) { flag = "  REGRESSION"; regressions++ }
                 printf "  %-55s %14.1f ns  (%+.1f%%)%s\n", id, new[id], delta, flag
             }

@@ -237,6 +237,28 @@ fn results() -> &'static Mutex<Vec<BenchResult>> {
     RESULTS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+struct MetricResult {
+    id: String,
+    value: f64,
+}
+
+fn metrics() -> &'static Mutex<Vec<MetricResult>> {
+    static METRICS: OnceLock<Mutex<Vec<MetricResult>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Record a non-timing work metric (a counter: assignments tried, index
+/// probes, bytes moved, …) to be emitted alongside the timing records when
+/// `BENCH_JSON` is set, as `{"id": …, "value": …}`. Consumers keying on
+/// `ns_per_iter` (the perf-trajectory gates) skip these records naturally.
+/// This is an extension over the real Criterion API, used by the bench
+/// harness to persist planner work counters into the benchmark snapshot.
+pub fn record_metric(id: impl Into<String>, value: f64) {
+    let id = id.into();
+    println!("metric: {id} ... {value}");
+    metrics().lock().expect("metrics lock").push(MetricResult { id, value });
+}
+
 /// Support machinery used by the macros; not part of the public API surface.
 pub mod private {
     use super::results;
@@ -253,26 +275,41 @@ pub mod private {
             .collect()
     }
 
-    /// Write collected results to `$BENCH_JSON` (if set) as a JSON array.
+    /// Write collected results to `$BENCH_JSON` (if set) as a JSON array:
+    /// timing records first, then any work-metric records from
+    /// [`record_metric`](super::record_metric).
     pub fn finalize() {
         let Ok(path) = std::env::var("BENCH_JSON") else { return };
         if path.is_empty() {
             return;
         }
         let results = results().lock().expect("results lock");
+        let metrics = super::metrics().lock().expect("metrics lock");
+        let total = results.len() + metrics.len();
         let mut out = String::from("[\n");
-        for (i, r) in results.iter().enumerate() {
+        let mut emitted = 0usize;
+        for r in results.iter() {
+            emitted += 1;
             out.push_str(&format!(
                 "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"samples\": {}}}{}\n",
                 json_escape(&r.id),
                 r.ns_per_iter,
                 r.samples,
-                if i + 1 < results.len() { "," } else { "" }
+                if emitted < total { "," } else { "" }
+            ));
+        }
+        for m in metrics.iter() {
+            emitted += 1;
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"value\": {}}}{}\n",
+                json_escape(&m.id),
+                m.value,
+                if emitted < total { "," } else { "" }
             ));
         }
         out.push_str("]\n");
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
-            Ok(()) => eprintln!("wrote {} benchmark record(s) to {path}", results.len()),
+            Ok(()) => eprintln!("wrote {total} benchmark record(s) to {path}"),
             Err(e) => eprintln!("failed to write BENCH_JSON={path}: {e}"),
         }
     }

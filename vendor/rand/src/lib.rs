@@ -33,6 +33,18 @@ pub trait Rng: RngCore {
     {
         range.sample_single(self)
     }
+
+    /// A Bernoulli draw: `true` with probability `p`. Panics unless
+    /// `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        // Compare 53 uniform mantissa bits against p, as upstream rand does.
+        let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        v < p
+    }
 }
 
 impl<T: RngCore> Rng for T {}
