@@ -32,7 +32,7 @@
 //! both build on the same nesting computation
 //! (`compute_component_nesting`).
 
-use crate::builder::build_local;
+use crate::builder::build_local_phased;
 use crate::complex::CellComplex;
 use crate::geometry::point_in_closed_polyline;
 use crate::index::SpatialIndex;
@@ -111,12 +111,34 @@ pub fn build_component_complex_budgeted(
     segments: &[TaggedSegment],
     strip_budget: usize,
 ) -> ComponentComplex {
+    build_component_complex_phased(
+        region_names,
+        segments,
+        strip_budget,
+        crate::parallel::phase_parallel_enabled(),
+    )
+}
+
+/// Like [`build_component_complex_budgeted`], with the phase-parallel toggle
+/// as an explicit argument instead of the `ARRANGEMENT_PHASE_PARALLEL`
+/// environment default: `phase_parallel = true` runs the post-split phases
+/// (chain merging, face walks, label propagation, cell assembly) on the
+/// worker pool under the same `strip_budget` thread share the splitting
+/// phase uses; `false` forces them serial. The output is identical either
+/// way (`tests/phase_parallel_differential.rs`).
+pub fn build_component_complex_phased(
+    region_names: Vec<String>,
+    segments: &[TaggedSegment],
+    strip_budget: usize,
+    phase_parallel: bool,
+) -> ComponentComplex {
     let bbox = segments
         .iter()
         .map(|t| BBox::of_segment(&t.segment))
         .reduce(|a, b| a.union(&b));
     let subs = crate::strip::split_segments_auto_budgeted(segments, strip_budget);
-    let (complex, bounded_cycles) = build_local(region_names, &subs);
+    let phase_threads = if phase_parallel { strip_budget } else { 1 };
+    let (complex, bounded_cycles) = build_local_phased(region_names, &subs, phase_threads);
     let rep_point = complex.vertices.first().map(|v| v.point);
     ComponentComplex { complex, bounded_cycles, bbox, rep_point }
 }
@@ -136,6 +158,22 @@ pub fn build_group_component_budgeted(
     group: &ComponentGroup,
     strip_budget: usize,
 ) -> ComponentComplex {
+    build_group_component_phased(
+        instance,
+        group,
+        strip_budget,
+        crate::parallel::phase_parallel_enabled(),
+    )
+}
+
+/// Like [`build_group_component_budgeted`], with the phase-parallel toggle
+/// as an explicit argument (see [`build_component_complex_phased`]).
+pub fn build_group_component_phased(
+    instance: &SpatialInstance,
+    group: &ComponentGroup,
+    strip_budget: usize,
+    phase_parallel: bool,
+) -> ComponentComplex {
     let names = instance.names();
     let mut local_names = Vec::with_capacity(group.region_indices.len());
     let mut segments = Vec::new();
@@ -147,7 +185,7 @@ pub fn build_group_component_budgeted(
             segments.push(TaggedSegment { segment, region: local });
         }
     }
-    build_component_complex_budgeted(local_names, &segments, strip_budget)
+    build_component_complex_phased(local_names, &segments, strip_budget, phase_parallel)
 }
 
 /// Overwrite the positions of a component's own regions in an inherited

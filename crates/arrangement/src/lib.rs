@@ -69,7 +69,7 @@
 //!
 //! ## Parallelism model
 //!
-//! Construction exploits two orthogonal levels of parallelism, both fed by
+//! Construction exploits three orthogonal levels of parallelism, all fed by
 //! the same [`parallel`] worker pool:
 //!
 //! * **Component-level** (between components): interaction components share
@@ -80,27 +80,50 @@
 //!   that forms one big component offers a single work item.
 //! * **Strip-level** (inside a component, [`strip`]): the splitting phase of
 //!   one component's sweep is decomposed into vertical x-strips at exact
-//!   rational seam abscissas chosen from the endpoint distribution; the
-//!   strips are swept concurrently and their cut sets stitched back
-//!   together with exact seam reconciliation. This is the lever for
-//!   *dense single-blob* maps (`datagen::dense_overlap_map`,
-//!   `jittered_overlap_map`), where it is the only available parallelism.
-//!   Components below [`strip::STRIP_MIN_SEGMENTS`] segments sweep
-//!   monolithically — their parallelism, if any, comes from the component
-//!   level. The two levels share one thread budget
-//!   ([`strip::strip_budget`]): a lone big component strips on every
-//!   configured thread, a many-component map keeps the parallelism at the
-//!   component level, and mixed maps split the budget evenly rather than
-//!   multiplying the two fan-outs.
+//!   rational seam abscissas placed by a *crossing-density cost model* —
+//!   each candidate endpoint abscissa is weighted by the bounding-box
+//!   overlap mass around it (a [`SpatialIndex`] probe, the same
+//!   conservative estimate the partitioner uses), and the seams are placed
+//!   at equal *cumulative cost* rather than equal endpoint count, so
+//!   crossing-clustered instances still hand every strip a comparable
+//!   share of sweep events (the retired endpoint-quantile placement is
+//!   kept as [`strip::quantile_seams`], the measured baseline of the
+//!   `strip_sweep` seam-skew metrics). The strips are swept concurrently
+//!   and their cut sets stitched back together with exact seam
+//!   reconciliation. This is the lever for *dense single-blob* maps
+//!   (`datagen::dense_overlap_map`, `jittered_overlap_map`), where it is
+//!   the only parallelism available to the splitting phase. Components
+//!   below [`strip::STRIP_MIN_SEGMENTS`] segments sweep monolithically —
+//!   their parallelism, if any, comes from the component level. The levels
+//!   share one thread budget ([`strip::strip_budget`]): a lone big
+//!   component strips on every configured thread, a many-component map
+//!   keeps the parallelism at the component level, and mixed maps split
+//!   the budget evenly rather than multiplying the fan-outs.
+//! * **Phase-level** (inside a component, downstream of the split): the
+//!   post-split phases — chain merging into maximal 1-cells, face-walk
+//!   extraction from the combinatorial embedding, label propagation from
+//!   the unbounded face, and flat cell assembly — run on the component's
+//!   same thread share. Chain merging fans out over *canonical darts*
+//!   (each maximal chain is emitted only from its lexicographically
+//!   smallest endpoint, reproducing the serial first-encounter order
+//!   without coordination), face walks parallelize the next-dart
+//!   permutation and the per-walk polyline/area builds around a serial
+//!   orbit extraction, and labels propagate layer-synchronously (label
+//!   values are path-independent, so frontier order cannot change them).
+//!   Controlled by `ARRANGEMENT_PHASE_PARALLEL` (default on; set `0`,
+//!   `off`, `false` or `serial` to force the serial phases); the
+//!   per-phase work is observable through [`counters`].
 //!
-//! **Determinism guarantee:** neither level affects the output — the strip
+//! **Determinism guarantee:** no level affects the output — the strip
 //! decomposition produces *identical* cut sets (and therefore identical
-//! sub-segments, cells and fingerprints) to the monolithic sweep, and the
+//! sub-segments, cells and fingerprints) to the monolithic sweep, the
+//! parallel phases emit cells in the serial phase order, and the
 //! component pool returns results in input order — so the constructed
 //! complex is byte-for-byte the same for every
-//! `ARRANGEMENT_THREADS` × `ARRANGEMENT_STRIPS` combination, on every
-//! machine. `tests/thread_determinism.rs` and
-//! `tests/strip_differential.rs` pin this.
+//! `ARRANGEMENT_THREADS` × `ARRANGEMENT_STRIPS` ×
+//! `ARRANGEMENT_PHASE_PARALLEL` combination, on every machine.
+//! `tests/thread_determinism.rs`, `tests/strip_differential.rs` and
+//! `tests/phase_parallel_differential.rs` pin this.
 //!
 //! Two oracles guard the pipeline: the original all-pairs splitter (`O(n^2)`
 //! exact intersection tests) is retained in [`split`] as the sweep's
@@ -131,6 +154,7 @@
 pub mod assemble;
 mod builder;
 mod complex;
+pub mod counters;
 mod geometry;
 pub mod index;
 pub mod parallel;
@@ -143,10 +167,12 @@ mod view;
 
 pub use assemble::{
     assemble_components, build_component_complex, build_component_complex_budgeted,
-    build_group_component, build_group_component_budgeted, ComponentComplex,
+    build_component_complex_phased, build_group_component, build_group_component_budgeted,
+    build_group_component_phased, ComponentComplex,
 };
 pub use builder::{
-    build_complex, build_complex_monolithic, build_complex_view, build_component_complexes,
+    build_complex, build_complex_monolithic, build_complex_phased, build_complex_view,
+    build_component_complexes, build_component_complexes_phased,
 };
 pub use complex::{CellComplex, ComplexRead};
 pub use index::SpatialIndex;

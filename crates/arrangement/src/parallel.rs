@@ -35,6 +35,25 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Whether the post-split phases of a component build — chain merging, face
+/// walks, label propagation and cell assembly — run on the worker pool
+/// (see [`crate::build_complex_phased`]). Controlled by the
+/// `ARRANGEMENT_PHASE_PARALLEL` environment variable: `0`, `off`, `false`
+/// or `serial` (case-insensitive) force the serial phase path, anything
+/// else — including unset — enables the parallel phases. Read per build, so
+/// tests can toggle it. The output is identical either way
+/// (`tests/phase_parallel_differential.rs`); the knob exists for A/B
+/// benchmarking and as an operational escape hatch.
+pub fn phase_parallel_enabled() -> bool {
+    match std::env::var("ARRANGEMENT_PHASE_PARALLEL") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !matches!(v.as_str(), "0" | "off" | "false" | "serial")
+        }
+        Err(_) => true,
+    }
+}
+
 /// Evaluate `f(0), f(1), …, f(n - 1)` on up to `threads` worker threads and
 /// return the results in index order.
 ///

@@ -6,10 +6,33 @@
 //! `dense_overlap_map` workload) still runs its entire sweep on a single
 //! thread. This module splits that sweep itself: the event-x range is
 //! partitioned into `k` vertical strips at exact rational *seam* abscissas
-//! chosen from the endpoint-x distribution (so strips carry comparable event
-//! counts), every segment is clipped to each strip it overlaps, the strips
-//! are swept concurrently on the [`crate::parallel`] scope pool, and the
-//! per-strip cut sets are stitched back onto the original segments.
+//! placed by a crossing-density cost model (so strips carry comparable
+//! **event** counts, not merely comparable endpoint counts — see
+//! [`strip_seams`] and the seam-placement section below), every segment is
+//! clipped to each strip it overlaps, the strips are swept concurrently on
+//! the [`crate::parallel`] scope pool, and the per-strip cut sets are
+//! stitched back onto the original segments.
+//!
+//! # Seam placement: the crossing-density cost model
+//!
+//! Where the seams land decides the load balance, and the obvious policy —
+//! quantiles of the endpoint-x multiset, the original implementation, kept
+//! as [`quantile_seams`] — is wrong exactly on the instances that need
+//! strips most. A sweep's work is proportional to its *events* (endpoints
+//! plus crossings), and crossings scale quadratically where segments
+//! cluster: `k` mutually crossing segments carry `Θ(k²)` events on `Θ(k)`
+//! endpoints, so endpoint quantiles give a crossing-dense cluster one
+//! strip's worth of seams when it deserves most of them. The cost model
+//! fixes this with one [`crate::SpatialIndex`] probe per segment: the
+//! segment's bbox-overlap count estimates the events it participates in
+//! (overlapping boxes are exactly the candidate crossing partners), that
+//! mass is deposited at the segment's endpoint abscissas, and seams are
+//! placed at equal *cumulative cost* instead of equal endpoint count.
+//! Seam candidates remain endpoint abscissas, so every exactness property
+//! of the reconciliation argument below is unchanged — the cost model only
+//! moves *which* abscissas are chosen. The per-strip processed-event
+//! diagnostics ([`strip_event_counts`] / [`strip_event_counts_quantile`])
+//! quantify the win and feed the `strip_sweep` benchmark's skew metrics.
 //!
 //! # Seam reconciliation, exactly
 //!
@@ -178,7 +201,7 @@ pub fn sweep_cut_sets_striped(
     let per_strip = map_indexed(strip_count, threads, |s| {
         let lo = if s == 0 { None } else { Some(seams[s - 1]) };
         let hi = if s == seams.len() { None } else { Some(seams[s]) };
-        strip_cuts(segments, lo, hi)
+        strip_cuts(segments, lo, hi).0
     });
     for strip in per_strip {
         for (original, points) in strip {
@@ -188,13 +211,72 @@ pub fn sweep_cut_sets_striped(
     cuts
 }
 
-/// The interior seam abscissas for a `strips`-way decomposition, chosen at
-/// quantiles of the (sorted) endpoint-x multiset so the strips carry
-/// comparable event counts whatever the spatial density profile. Strictly
-/// increasing; may hold fewer than `strips - 1` values (duplicated
-/// quantiles collapse), and is empty when no interior seam exists.
+/// The interior seam abscissas for a `strips`-way decomposition, placed by
+/// the crossing-density **cost model**: each segment's event mass is
+/// estimated as its bbox-overlap count (one [`crate::SpatialIndex`] probe
+/// per segment — overlapping boxes are exactly the candidate crossing
+/// partners, so the count is a cheap, conservative stand-in for the events
+/// the sweep will process around that segment), the mass is deposited at the
+/// segment's two endpoint abscissas, and seams are read off at equal
+/// cumulative cost. A crossing-dense cluster therefore attracts
+/// proportionally more seams than an endpoint-x quantile would give it —
+/// quantiles weight every endpoint equally, but a cluster of `k` mutually
+/// crossing segments carries `Θ(k²)` events on `Θ(k)` endpoints, so
+/// quantile seams starve it (see [`quantile_seams`], kept as the
+/// pre-cost-model policy for the load-imbalance diagnostics).
+///
+/// Strictly increasing; may hold fewer than `strips - 1` values (duplicated
+/// cost quantiles collapse), and is empty when no interior seam exists.
 /// Deterministic in the input and `strips` alone.
-pub(crate) fn strip_seams(segments: &[TaggedSegment], strips: usize) -> Vec<Rational> {
+pub fn strip_seams(segments: &[TaggedSegment], strips: usize) -> Vec<Rational> {
+    if strips <= 1 || segments.len() < 2 {
+        return Vec::new();
+    }
+    let boxes: Vec<Option<crate::partition::BBox>> = segments
+        .iter()
+        .map(|t| Some(crate::partition::BBox::of_segment(&t.segment)))
+        .collect();
+    let index = crate::index::SpatialIndex::build(&boxes);
+    // Event mass per endpoint abscissa: the segment's bbox-neighbor count
+    // (includes itself, so every segment carries at least mass 1).
+    let mut weighted: Vec<(Rational, u64)> = Vec::with_capacity(segments.len() * 2);
+    for (i, t) in segments.iter().enumerate() {
+        let mass = index
+            .bbox_neighbors(boxes[i].as_ref().expect("every segment has a box"))
+            .len() as u64;
+        weighted.push((t.segment.a.x, mass));
+        weighted.push((t.segment.b.x, mass));
+    }
+    weighted.sort_by_key(|&(x, _)| x);
+    let total: u64 = weighted.iter().map(|(_, w)| w).sum();
+    let (min_x, max_x) = (weighted[0].0, weighted[weighted.len() - 1].0);
+    let mut seams = Vec::new();
+    let mut cumulative = 0u64;
+    let mut next_seam = 1usize;
+    for (x, w) in &weighted {
+        if next_seam >= strips {
+            break;
+        }
+        cumulative += w;
+        // Exact integer comparison of cumulative/total >= next_seam/strips.
+        while next_seam < strips && cumulative * strips as u64 >= next_seam as u64 * total {
+            if *x > min_x && *x < max_x && seams.last() != Some(x) {
+                seams.push(*x);
+            }
+            next_seam += 1;
+        }
+    }
+    seams
+}
+
+/// The pre-cost-model seam policy: seams at quantiles of the endpoint-x
+/// multiset, weighting every endpoint equally. Retained as the comparison
+/// baseline for the load-imbalance diagnostics
+/// ([`strip_event_counts_quantile`]) — it balances endpoint counts, not
+/// event counts, and mishandles instances whose crossings cluster away from
+/// their endpoint mass. Same invariants as [`strip_seams`]: strictly
+/// increasing, interior, deterministic.
+pub fn quantile_seams(segments: &[TaggedSegment], strips: usize) -> Vec<Rational> {
     if strips <= 1 || segments.len() < 2 {
         return Vec::new();
     }
@@ -211,6 +293,37 @@ pub(crate) fn strip_seams(segments: &[TaggedSegment], strips: usize) -> Vec<Rati
         }
     }
     seams
+}
+
+/// Per-strip processed-event counts of a `strips`-way decomposition under
+/// the cost-model seams ([`strip_seams`]) — the load-balance diagnostic the
+/// `strip_sweep` benchmark reports (max/mean over this vector is the seam
+/// skew). Runs each strip's sweep serially; a single-element vector means no
+/// interior seam existed and the sweep ran monolithically.
+pub fn strip_event_counts(segments: &[TaggedSegment], strips: usize) -> Vec<u64> {
+    event_counts_for_seams(segments, &strip_seams(segments, strips))
+}
+
+/// Per-strip processed-event counts under the endpoint-x quantile seams
+/// ([`quantile_seams`]) — the comparison baseline quantifying what the cost
+/// model wins on crossing-clustered instances.
+pub fn strip_event_counts_quantile(segments: &[TaggedSegment], strips: usize) -> Vec<u64> {
+    event_counts_for_seams(segments, &quantile_seams(segments, strips))
+}
+
+fn event_counts_for_seams(segments: &[TaggedSegment], seams: &[Rational]) -> Vec<u64> {
+    if seams.is_empty() {
+        let mut cuts = endpoint_cuts(segments);
+        let segs: Vec<Segment> = segments.iter().map(|t| t.segment).collect();
+        return vec![crate::sweep::sweep_segment_cuts(&segs, &mut cuts)];
+    }
+    (0..=seams.len())
+        .map(|s| {
+            let lo = if s == 0 { None } else { Some(seams[s - 1]) };
+            let hi = if s == seams.len() { None } else { Some(seams[s]) };
+            strip_cuts(segments, lo, hi).1
+        })
+        .collect()
 }
 
 /// One segment clipped to a strip.
@@ -260,12 +373,13 @@ fn clip_to_strip(
 }
 
 /// The intersection cuts contributed by one strip, as `(original segment,
-/// cut points)` pairs: clip, run the seam-restricted collinear pass, sweep.
+/// cut points)` pairs plus the strip's processed-event count: clip, run the
+/// seam-restricted collinear pass, sweep.
 fn strip_cuts(
     segments: &[TaggedSegment],
     lo: Option<Rational>,
     hi: Option<Rational>,
-) -> Vec<(usize, BTreeSet<Point>)> {
+) -> (Vec<(usize, BTreeSet<Point>)>, u64) {
     let mut clipped: Vec<Clipped> = Vec::new();
     for (i, ts) in segments.iter().enumerate() {
         if let Some((segment, source_real, target_real)) = clip_to_strip(&ts.segment, lo, hi) {
@@ -275,13 +389,14 @@ fn strip_cuts(
     let mut local: Vec<BTreeSet<Point>> = vec![BTreeSet::new(); clipped.len()];
     collinear_real_endpoint_cuts(&clipped, &mut local);
     let segs: Vec<Segment> = clipped.iter().map(|c| c.segment).collect();
-    sweep_segment_cuts(&segs, &mut local);
-    clipped
+    let events = sweep_segment_cuts(&segs, &mut local);
+    let cuts = clipped
         .iter()
         .zip(local)
         .filter(|(_, points)| !points.is_empty())
         .map(|(c, points)| (c.original, points))
-        .collect()
+        .collect();
+    (cuts, events)
 }
 
 /// The seam-restricted collinear-overlap pass: like
@@ -428,6 +543,80 @@ mod tests {
         // Endpoint meeting at a seam from both sides.
         let segs = tagged(&[seg(0, 0, 2, 2), seg(2, 2, 4, 0), seg(2, 0, 2, 4)]);
         assert_striped_matches(&segs, "endpoint meeting at seam");
+    }
+
+    /// The adversarial instance for endpoint-quantile seams: a
+    /// crossing-dense cluster (every pair of the `C*` rectangles' boundaries
+    /// cross, so Θ(k²) events on Θ(k) endpoints) next to a wide chain of
+    /// pairwise disjoint rectangles carrying as many endpoints but no
+    /// crossings at all. Quantiles split the endpoint mass evenly and starve
+    /// the cluster of seams; the cost model sees the cluster's bbox-overlap
+    /// mass and concentrates seams there.
+    fn adversarial_clustered_crossings() -> Vec<TaggedSegment> {
+        let mut inst = SpatialInstance::new();
+        for i in 0..12i64 {
+            inst.insert(
+                format!("C{i:02}"),
+                Region::rect_from_ints(i, -i, 12 + i, 12 - i),
+            );
+        }
+        for j in 0..12i64 {
+            inst.insert(
+                format!("S{j:02}"),
+                Region::rect_from_ints(100 + 40 * j, 0, 108 + 40 * j, 8),
+            );
+        }
+        instance_segments(&inst)
+    }
+
+    fn skew(counts: &[u64]) -> f64 {
+        let max = *counts.iter().max().expect("nonempty") as f64;
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+        max / mean
+    }
+
+    #[test]
+    fn cost_model_seams_balance_clustered_crossings_better_than_quantiles() {
+        let segs = adversarial_clustered_crossings();
+        for strips in [3usize, 4, 6] {
+            let cost = strip_event_counts(&segs, strips);
+            let quantile = strip_event_counts_quantile(&segs, strips);
+            assert!(cost.len() > 1 && quantile.len() > 1, "both policies must yield seams");
+            // The bottleneck strip (what wall-clock waits on) must shrink,
+            // and the max/mean skew must improve.
+            let (cost_max, quant_max) =
+                (*cost.iter().max().unwrap(), *quantile.iter().max().unwrap());
+            assert!(
+                cost_max < quant_max,
+                "strips={strips}: cost-model bottleneck {cost_max} not below quantile {quant_max} \
+                 (cost {cost:?}, quantile {quantile:?})"
+            );
+            assert!(
+                skew(&cost) < skew(&quantile),
+                "strips={strips}: cost-model skew {} not below quantile skew {} \
+                 (cost {cost:?}, quantile {quantile:?})",
+                skew(&cost),
+                skew(&quantile)
+            );
+        }
+        // And the decomposition stays output-identical under both policies'
+        // seam abscissas (the cost model only moves which abscissas are
+        // chosen, never weakens the reconciliation argument).
+        assert_striped_matches(&segs, "adversarial clustered crossings");
+    }
+
+    #[test]
+    fn quantile_seams_share_the_invariants() {
+        let segs = instance_segments(&datagen_like_grid());
+        for strips in [2usize, 3, 7] {
+            let seams = quantile_seams(&segs, strips);
+            assert_eq!(seams, quantile_seams(&segs, strips));
+            assert!(seams.len() < strips);
+            for w in seams.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+        assert!(quantile_seams(&[], 4).is_empty());
     }
 
     #[test]

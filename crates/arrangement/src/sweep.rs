@@ -93,9 +93,14 @@ pub fn sweep_cut_sets(segments: &[TaggedSegment]) -> CutSets {
 /// (indexed like `segs`). Endpoint seeding and collinear-overlap cuts are
 /// the caller's responsibility — [`sweep_cut_sets`] composes all three; the
 /// strip decomposition ([`crate::strip`]) runs this over clipped segments
-/// with its own seam-aware collinear pass.
-pub(crate) fn sweep_segment_cuts(segs: &[Segment], cuts: &mut [std::collections::BTreeSet<Point>]) {
-    Sweep::new(segs).run(cuts);
+/// with its own seam-aware collinear pass. Returns the number of event
+/// points processed (also added to the process-wide
+/// [`crate::counters::phase_counters`] total).
+pub(crate) fn sweep_segment_cuts(
+    segs: &[Segment],
+    cuts: &mut [std::collections::BTreeSet<Point>],
+) -> u64 {
+    Sweep::new(segs).run(cuts)
 }
 
 // ---------------------------------------------------------------------------
@@ -188,10 +193,14 @@ impl<'a> Sweep<'a> {
         &self.segments[i]
     }
 
-    fn run(mut self, cuts: &mut [std::collections::BTreeSet<Point>]) {
+    fn run(mut self, cuts: &mut [std::collections::BTreeSet<Point>]) -> u64 {
+        let mut events = 0u64;
         while let Some((p, starters)) = self.queue.pop_first() {
             self.handle_event(p, starters, cuts);
+            events += 1;
         }
+        crate::counters::add_events_processed(events);
+        events
     }
 
     fn handle_event(

@@ -24,11 +24,31 @@
 //! hosts with 4+ cores (on 2-3 cores it must simply win; on a single-core
 //! host every series measures overhead, so the gate is skipped there), and
 //! tracks `serial` in the regression gate.
+//!
+//! Alongside the timing series the group records seam-placement *balance*
+//! metrics per size ({id, value} records): the per-strip processed-event
+//! maximum, mean and skew (max/mean, 1.0 = perfectly balanced) under the
+//! production crossing-density cost model ([`strip_event_counts`]) and
+//! under the retired endpoint-quantile baseline
+//! ([`strip_event_counts_quantile`]). The strip count of the slowest strip
+//! bounds the parallel sweep's wall time, so the skew ratio is the
+//! quantity the cost model exists to minimize.
+//!
+//! The second group, `phase_build`, carries the perf claim of the
+//! phase-parallel pipeline: on the dense 256-region single-component map,
+//! `build_complex_phased` with the parallel chain-merge / face-walk /
+//! label phases (`phase_parallel`) must beat the same build with strips
+//! only (`strips_only`, the pre-phase production path) — >1.3x on 4+
+//! cores, a simple win on 2-3, skipped single-core (gated by
+//! `scripts/bench_snapshot.sh`). Its per-phase work counters
+//! ([`arrangement::counters`]) are recorded as `phase_build/<phase>/<n>`
+//! metrics so parallel-efficiency regressions (duplicated walks) stay
+//! visible even on a single-core bench host.
 
 use arrangement::partition_instance;
 use arrangement::split::{instance_segments, split_segments};
-use arrangement::strip::split_segments_striped;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use arrangement::strip::{split_segments_striped, strip_event_counts, strip_event_counts_quantile};
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -69,13 +89,68 @@ fn strip_sweep(c: &mut Criterion) {
                 b.iter(|| black_box(split_segments_striped(&segments, strips, threads)))
             });
         }
+
+        // Seam-balance diagnostics: per-strip event mass under both seam
+        // policies, at the strip count the timing series run with.
+        for (policy, counts) in [
+            ("cost", strip_event_counts(&segments, strips)),
+            ("quantile", strip_event_counts_quantile(&segments, strips)),
+        ] {
+            let total: u64 = counts.iter().sum();
+            let max_events = counts.iter().copied().max().unwrap_or(0);
+            let mean = total as f64 / counts.len().max(1) as f64;
+            let skew = if mean > 0.0 { max_events as f64 / mean } else { 1.0 };
+            record_metric(format!("strip_sweep/events_total_{policy}/{n}"), total as f64);
+            record_metric(format!("strip_sweep/events_max_{policy}/{n}"), max_events as f64);
+            record_metric(format!("strip_sweep/seam_skew_{policy}/{n}"), skew);
+        }
     }
+    group.finish();
+}
+
+/// Wall time of the full per-component pipeline (split + chain merge + face
+/// walks + labels + cell assembly) on the dense single-component map, with
+/// and without the phase-parallel post-split phases. Also records the
+/// per-phase work counters of one phase-parallel build.
+fn phase_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_build");
+    let max = arrangement::parallel::available_threads();
+    let side = 16;
+    let n = side * side;
+    let inst = datagen::dense_overlap_map(side, side, 4);
+    assert_eq!(
+        partition_instance(&inst).len(),
+        1,
+        "dense_overlap_map must be one interaction component"
+    );
+
+    group.bench_with_input(BenchmarkId::new("serial", n), &(), |b, _| {
+        b.iter(|| black_box(arrangement::build_complex_phased(&inst, 1, false)))
+    });
+    group.bench_with_input(BenchmarkId::new("strips_only", n), &(), |b, _| {
+        b.iter(|| black_box(arrangement::build_complex_phased(&inst, max, false)))
+    });
+    group.bench_with_input(BenchmarkId::new("phase_parallel", n), &(), |b, _| {
+        b.iter(|| black_box(arrangement::build_complex_phased(&inst, max, true)))
+    });
+
+    // One instrumented build outside the timing loops: the per-phase work of
+    // a phase-parallel build must match the serial build's (pinned relative
+    // to each other by the differential tests; recorded here so the absolute
+    // trajectory is visible in the snapshot).
+    let before = arrangement::counters::phase_counters();
+    black_box(arrangement::build_complex_phased(&inst, max, true));
+    let work = arrangement::counters::phase_counters().delta_since(&before);
+    record_metric(format!("phase_build/events_processed/{n}"), work.events_processed as f64);
+    record_metric(format!("phase_build/chains_merged/{n}"), work.chains_merged as f64);
+    record_metric(format!("phase_build/cells_walked/{n}"), work.cells_walked as f64);
+    record_metric(format!("phase_build/labels_propagated/{n}"), work.labels_propagated as f64);
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = config();
-    targets = strip_sweep
+    targets = strip_sweep, phase_build
 }
 criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Open-loop traffic harness for the `topodb` facade: many client threads
+//! replay a mixed snapshot-read / prepared-query / write-transaction
+//! workload against one shared database at a configured per-client arrival
+//! rate, and the harness records p50/p99 latency per operation class into
+//! the benchmark snapshot.
+//!
+//! **Open loop** means every operation has a *scheduled* arrival time
+//! (`start + i / rate`) and its latency is measured from that scheduled
+//! instant, not from when the client got around to issuing it. A client
+//! that falls behind accumulates queueing delay in its latency numbers
+//! instead of silently throttling the offered load — the
+//! coordinated-omission trap of closed-loop harnesses, where a slow server
+//! makes its own tail latencies look better by slowing the clients down.
+//!
+//! The database is a `clustered_map(8, 4)` behind an outer `RwLock` (reads
+//! and queries go through `&TopoDatabase`, which is `Sync`; only
+//! `TopoDatabase::begin` needs `&mut`). The per-operation mix, drawn from
+//! each client's seeded RNG:
+//!
+//! * **60% reads** — `snapshot()` + `Snapshot::relation` between two
+//!   pseudo-random base regions (the warm path: one `Arc` bump plus a
+//!   cached 4-intersection classification);
+//! * **30% queries** — `Snapshot::evaluate` of a pre-compiled anchored
+//!   open query `overlap(ext(x), C{c}_R000)` (the semi-join planner path);
+//! * **10% transactions** — insert of a pseudo-random rectangle under a
+//!   thread-local name into a pseudo-random cluster (or removal of a
+//!   previously inserted one), which bumps the epoch and forces the next
+//!   snapshot to re-sweep the dirtied cluster.
+//!
+//! Knobs: `TRAFFIC_CLIENTS` (threads), `TRAFFIC_RATE` (ops/s per client),
+//! `TRAFFIC_OPS` (ops per client). `--test` smoke mode shrinks all three
+//! so CI merely exercises every path once per class.
+//!
+//! Recorded metrics (`{id, value}` records in `BENCH_JSON`, merged into
+//! `BENCH_arrangement.json` by `scripts/bench_snapshot.sh`):
+//! `traffic/<class>/p50_ns`, `traffic/<class>/p99_ns` and
+//! `traffic/<class>/ops` for each class in `mixed`/`read`/`query`/`txn`,
+//! plus `traffic/offered_ops_per_s` and `traffic/achieved_ops_per_s`.
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+use topodb::query::PreparedQuery;
+use topodb::TopoDatabase;
+
+/// Cluster count of the base map; transactions target `tid % CLUSTERS`.
+const CLUSTERS: usize = 8;
+/// Base regions per cluster (never touched by the write mix, so reads and
+/// anchored queries always resolve).
+const PER_CLUSTER: usize = 4;
+
+/// Operation classes, indexed by the discriminant stored per sample.
+const READ: usize = 0;
+const QUERY: usize = 1;
+const TXN: usize = 2;
+const CLASS_NAMES: [&str; 3] = ["read", "query", "txn"];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+/// Nearest-rank percentile over an already-sorted sample vector.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One client's replay: issue `ops` operations on the open-loop schedule,
+/// returning `(class, latency_ns)` per operation.
+fn run_client(
+    db: &RwLock<TopoDatabase>,
+    queries: &[PreparedQuery],
+    names: &[String],
+    tid: usize,
+    ops: usize,
+    period: Duration,
+    start: Instant,
+) -> Vec<(usize, u64)> {
+    let mut rng = StdRng::seed_from_u64(0x7af1c + tid as u64);
+    let mut inserted: Vec<String> = Vec::new();
+    let mut serial = 0usize;
+    let mut samples = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let scheduled = period * (i as u32);
+        // Sleep only if ahead of schedule; when behind, fire immediately so
+        // the backlog shows up as queueing delay in the measured latency.
+        let now = start.elapsed();
+        if now < scheduled {
+            std::thread::sleep(scheduled - now);
+        }
+        let class = match rng.gen_range(0..10usize) {
+            0..=5 => {
+                let a = &names[rng.gen_range(0..names.len())];
+                let b = &names[rng.gen_range(0..names.len())];
+                let snap = db.read().expect("db lock").snapshot();
+                std::hint::black_box(snap.relation(a, b).expect("base regions exist"));
+                READ
+            }
+            6..=8 => {
+                let q = &queries[rng.gen_range(0..queries.len())];
+                let snap = db.read().expect("db lock").snapshot();
+                std::hint::black_box(snap.evaluate(q).expect("anchored query evaluates"));
+                QUERY
+            }
+            _ => {
+                let cluster = tid % CLUSTERS;
+                let mut guard = db.write().expect("db lock");
+                let mut txn = guard.begin();
+                if inserted.len() >= 4 {
+                    // Keep the thread-local working set bounded: retire the
+                    // oldest extra region instead of growing forever.
+                    txn.remove(inserted.remove(0));
+                } else {
+                    let name = format!("T{tid:02}_N{serial:04}");
+                    serial += 1;
+                    txn.insert(name.clone(), datagen::cluster_rect(&mut rng, cluster, CLUSTERS));
+                    inserted.push(name);
+                }
+                txn.commit();
+                TXN
+            }
+        };
+        samples.push((class, (start.elapsed() - scheduled).as_nanos() as u64));
+    }
+    samples
+}
+
+fn traffic(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let default_clients =
+        if smoke { 2 } else { arrangement::parallel::available_threads().clamp(2, 8) };
+    let clients = env_usize("TRAFFIC_CLIENTS", default_clients);
+    let rate = env_usize("TRAFFIC_RATE", if smoke { 1000 } else { 200 });
+    let ops = env_usize("TRAFFIC_OPS", if smoke { 30 } else { 400 });
+    let period = Duration::from_secs(1).div_f64(rate as f64);
+
+    let db = RwLock::new(TopoDatabase::from_instance(datagen::clustered_map(
+        CLUSTERS, PER_CLUSTER, 4242,
+    )));
+    let names: Vec<String> = db.read().expect("db lock").names();
+    // Warm the initial snapshot outside the measured window so the first
+    // scheduled read does not pay the cold build.
+    db.read().expect("db lock").snapshot();
+    let queries: Vec<PreparedQuery> = (0..CLUSTERS)
+        .map(|c| {
+            PreparedQuery::compile(&format!("overlap(ext(x), C{c:03}_R000)"))
+                .expect("anchored open query compiles")
+        })
+        .collect();
+
+    eprintln!(
+        "traffic: {clients} clients x {ops} ops at {rate} ops/s each \
+         (offered {} ops/s total{})",
+        clients * rate,
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let start = Instant::now();
+    let per_client: Vec<Vec<(usize, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|tid| {
+                let db = &db;
+                let queries = &queries;
+                let names = &names;
+                scope.spawn(move || run_client(db, queries, names, tid, ops, period, start))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut by_class: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut mixed: Vec<u64> = Vec::with_capacity(clients * ops);
+    for samples in &per_client {
+        for &(class, ns) in samples {
+            by_class[class].push(ns);
+            mixed.push(ns);
+        }
+    }
+    mixed.sort_unstable();
+    let achieved = mixed.len() as f64 / wall.as_secs_f64();
+    record_metric("traffic/offered_ops_per_s", (clients * rate) as f64);
+    record_metric("traffic/achieved_ops_per_s", achieved);
+    record_metric("traffic/mixed/ops", mixed.len() as f64);
+    record_metric("traffic/mixed/p50_ns", percentile(&mixed, 0.50) as f64);
+    record_metric("traffic/mixed/p99_ns", percentile(&mixed, 0.99) as f64);
+    for (class, lat) in by_class.iter_mut().enumerate() {
+        lat.sort_unstable();
+        record_metric(format!("traffic/{}/ops", CLASS_NAMES[class]), lat.len() as f64);
+        record_metric(format!("traffic/{}/p50_ns", CLASS_NAMES[class]), percentile(lat, 0.50) as f64);
+        record_metric(format!("traffic/{}/p99_ns", CLASS_NAMES[class]), percentile(lat, 0.99) as f64);
+    }
+    if !smoke {
+        assert!(
+            by_class.iter().all(|lat| !lat.is_empty()),
+            "every operation class must appear in a full traffic run"
+        );
+    }
+    println!("test traffic ... ok");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = traffic
+}
+criterion_main!(benches);

@@ -176,6 +176,62 @@ pub fn jittered_overlap_map(cols: usize, rows: usize, cell_size: i64, seed: u64)
     inst
 }
 
+/// A cadastral "road network" map: a `cols x rows` sheet of quadrilateral
+/// parcels over a *shared* jittered corner lattice, with a deterministic
+/// pseudo-random quarter of the cells split along their diagonal into two
+/// triangular parcels (the grid-with-diagonals shape of survey maps).
+/// Deterministic in the seed.
+///
+/// Unlike [`jittered_overlap_map`], whose parcels properly cross, every
+/// boundary here is *shared exactly*: neighboring parcels reuse the same
+/// lattice corner points, so the arrangement is dominated by endpoint
+/// coincidences, collinear shared edges and multi-region boundary marks
+/// rather than proper crossings — the workload for the shared-boundary
+/// handling of the sweep and for non-rectangular (`Polygon`) regions in
+/// general. The whole sheet is one interaction component. Quadrilateral
+/// parcels are named `Q{row:03}_{col:03}`; the two triangles of a split
+/// cell `T{row:03}_{col:03}a` (lower-right) and `T{row:03}_{col:03}b`
+/// (upper-left).
+pub fn road_network_map(cols: usize, rows: usize, cell_size: i64, seed: u64) -> SpatialInstance {
+    assert!(cols > 0 && rows > 0 && cell_size > 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each lattice corner is jittered once and shared by every parcel
+    // incident to it. Displacements stay within ±cell_size/8 < cell_size/6,
+    // which keeps every triangle's orientation strictly positive and hence
+    // every parcel simple.
+    let jitter = (cell_size / 4).max(1);
+    let mut corners = vec![vec![(0i64, 0i64); cols + 1]; rows + 1];
+    for (r, row) in corners.iter_mut().enumerate() {
+        for (c, corner) in row.iter_mut().enumerate() {
+            let dx = rng.gen_range(0..jitter) - jitter / 2;
+            let dy = rng.gen_range(0..jitter) - jitter / 2;
+            *corner = (c as i64 * cell_size + dx, r as i64 * cell_size + dy);
+        }
+    }
+    let mut inst = SpatialInstance::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let p00 = corners[r][c];
+            let p10 = corners[r][c + 1];
+            let p11 = corners[r + 1][c + 1];
+            let p01 = corners[r + 1][c];
+            if rng.gen_range(0..4usize) == 0 {
+                let lower = Polygon::from_ints(&[p00, p10, p11])
+                    .expect("jittered lattice triangle is simple");
+                let upper = Polygon::from_ints(&[p00, p11, p01])
+                    .expect("jittered lattice triangle is simple");
+                inst.insert(format!("T{r:03}_{c:03}a"), Region::polygon(lower));
+                inst.insert(format!("T{r:03}_{c:03}b"), Region::polygon(upper));
+            } else {
+                let quad = Polygon::from_ints(&[p00, p10, p11, p01])
+                    .expect("jittered lattice quad is simple");
+                inst.insert(format!("Q{r:03}_{c:03}"), Region::polygon(quad));
+            }
+        }
+    }
+    inst
+}
+
 /// The side length of the area a [`clustered_map`] cluster draws its
 /// rectangles in (a rectangle may stick out by at most `CLUSTER_SPAN / 2`).
 pub const CLUSTER_SPAN: i64 = 20;
@@ -474,6 +530,28 @@ mod tests {
                     assert!(uy1 < y2, "parcel ({r},{c}) must overlap its upper neighbor");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn road_network_map_is_deterministic_shared_boundary_sheet() {
+        let a = road_network_map(5, 4, 8, 21);
+        assert_eq!(a, road_network_map(5, 4, 8, 21));
+        assert_ne!(a, road_network_map(5, 4, 8, 22));
+        // One quad or two triangles per cell; with seed 21 both kinds occur.
+        let quads = a.iter().filter(|(n, _)| n.starts_with('Q')).count();
+        let tris = a.iter().filter(|(n, _)| n.starts_with('T')).count();
+        assert_eq!(tris % 2, 0, "triangles come in diagonal pairs");
+        assert_eq!(quads + tris / 2, 20, "every cell is covered");
+        assert!(quads > 0 && tris > 0, "mixed parcel shapes");
+        assert_eq!(a.common_class(), RegionClass::Poly);
+        // Parcels are polygons over a shared lattice: cells stay within one
+        // jitter of their nominal footprint.
+        for (name, region) in a.iter() {
+            let (x0, _, x1, _) = region.bounding_box();
+            let c: i64 = name[5..8].parse().unwrap();
+            assert!(x0 >= Rational::from_int(c * 8 - 2), "{name} within lattice");
+            assert!(x1 <= Rational::from_int((c + 1) * 8 + 2), "{name} within lattice");
         }
     }
 

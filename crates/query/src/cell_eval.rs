@@ -95,6 +95,10 @@ pub struct CellEvaluator {
     /// and planned paths both count; shared by clones). See
     /// [`CellEvaluator::assignments_tried`].
     assignments: Arc<AtomicU64>,
+    /// Number of `Rel` atoms answered by the bounding-box disjointness
+    /// short-circuit without touching the complex (shared by clones). See
+    /// [`CellEvaluator::rel_shortcuts`].
+    rel_shortcut_hits: Arc<AtomicU64>,
     /// All legitimate quantifier values (disc-like unions of bounded faces),
     /// enumerated lazily on first use. A [`std::sync::OnceLock`] (not a
     /// `Cell`-based cache) so the evaluator is `Sync` and can serve query
@@ -158,6 +162,7 @@ impl CellEvaluator {
             bboxes,
             index: OnceLock::new(),
             assignments: Arc::new(AtomicU64::new(0)),
+            rel_shortcut_hits: Arc::new(AtomicU64::new(0)),
             domain: OnceLock::new(),
             domain_cap: 100_000,
         }
@@ -194,6 +199,14 @@ impl CellEvaluator {
     /// recorded by the bench snapshot.
     pub fn assignments_tried(&self) -> u64 {
         self.assignments.load(Ordering::Relaxed)
+    }
+
+    /// How many `Rel` atoms were answered by the bounding-box disjointness
+    /// short-circuit (both operands named, boxes not interacting) without
+    /// computing a 4-intersection matrix. Shared by all clones; a
+    /// planner-work metric like [`CellEvaluator::assignments_tried`].
+    pub fn rel_shortcuts(&self) -> u64 {
+        self.rel_shortcut_hits.load(Ordering::Relaxed)
     }
 
     /// The region names known to the evaluator.
@@ -809,6 +822,30 @@ impl CellEvaluator {
     fn eval_inner(&self, formula: &Formula, env: &mut Environment) -> Result<bool, EvalError> {
         match formula {
             Formula::Rel(r, p, q) => {
+                // Bounding-box short-circuit for named operands: a region's
+                // closure lies inside its boundary bbox, so two named
+                // regions whose boxes don't interact are provably
+                // `disjoint` — the atom is answered without materializing
+                // face sets or intersecting cell sets. Anonymous
+                // (quantified) operands have no precomputed box and fall
+                // through to the full 4-intersection classifier, as do the
+                // degenerate cases (missing box, empty face set).
+                if let (RegionExpr::Ext(pt), RegionExpr::Ext(qt)) = (p, q) {
+                    let pi = self.resolve_name(pt, env)?;
+                    let qi = self.resolve_name(qt, env)?;
+                    if let (Some(pb), Some(qb)) = (&self.bboxes[pi], &self.bboxes[qi]) {
+                        if !pb.intersects(qb)
+                            && !self.name_sets[pi].is_empty()
+                            && !self.name_sets[qi].is_empty()
+                        {
+                            self.rel_shortcut_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(*r == Relation4::Disjoint);
+                        }
+                    }
+                    let a = self.name_sets[pi].clone();
+                    let b = self.name_sets[qi].clone();
+                    return Ok(self.relation(&a, &b) == Some(*r));
+                }
                 let a = self.resolve_region(p, env)?;
                 let b = self.resolve_region(q, env)?;
                 Ok(self.relation(&a, &b) == Some(*r))
@@ -1061,6 +1098,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rel_bbox_shortcut_answers_disjoint_and_counts() {
+        use spatial_core::prelude::Region;
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 2, 2)),
+            ("B", Region::rect_from_ints(10, 10, 12, 12)),
+        ]);
+        let ev = CellEvaluator::new(&inst);
+        assert_eq!(ev.rel_shortcuts(), 0);
+        for r in relations::Relation4::ALL {
+            let q = F::rel(r, R::named("A"), R::named("B"));
+            assert_eq!(ev.eval(&q), Ok(r == Disjoint), "atom {r}");
+        }
+        assert_eq!(
+            ev.rel_shortcuts(),
+            relations::Relation4::ALL.len() as u64,
+            "every named atom over box-disjoint regions short-circuits"
+        );
+    }
+
+    #[test]
+    fn rel_shortcut_falls_through_when_boxes_interact() {
+        use spatial_core::prelude::{Polygon, Region};
+        // Disjoint regions with *interacting* boxes: the triangle's bbox
+        // contains the square, but the square lies beyond the hypotenuse —
+        // the full 4-intersection classifier must answer, not the shortcut.
+        let tri = Polygon::from_ints(&[(0, 0), (10, 0), (0, 10)]).unwrap();
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::polygon(tri)),
+            ("B", Region::rect_from_ints(7, 7, 9, 9)),
+        ]);
+        let ev = CellEvaluator::new(&inst);
+        let q = F::rel(Disjoint, R::named("A"), R::named("B"));
+        assert_eq!(ev.eval(&q), Ok(true));
+        assert_eq!(ev.rel_shortcuts(), 0, "interacting boxes must not shortcut");
     }
 
     #[test]

@@ -4,26 +4,33 @@
 # Runs the splitting-phase scaling group (`splitting_sweep_vs_naive`), the
 # incremental-maintenance groups (`incremental_update`, `batch_update`), the
 # assembly groups (`assemble_view_vs_copy`, `parallel_cold_build`), the
-# intra-component strip-sweep group (`strip_sweep`) and the open-query
-# planner group (`planner_bindings`, including its work-counter metrics),
-# merges their machine-readable records into one snapshot (default:
-# BENCH_arrangement.json at the repository root), and then compares the fresh
-# run against the previously committed snapshot:
+# intra-component strip-sweep and phase-parallel groups (`strip_sweep`,
+# `phase_build`, including seam-skew and per-phase work metrics), the
+# open-query planner group (`planner_bindings`, including its work-counter
+# metrics) and the open-loop traffic harness (`traffic/*` p50/p99 latency
+# metrics), merges their machine-readable records into one snapshot
+# (default: BENCH_arrangement.json at the repository root), and then
+# compares the fresh run against the previously committed snapshot:
 #
 #   * every benchmark present in both runs gets a printed delta;
 #   * a >25% slowdown in any `sweep/*`, `assemble_view_vs_copy/view/*`,
-#     `strip_sweep/serial/*` or `planner_bindings/planned/*` entry is a
-#     tracked regression and fails the script (exit non-zero);
+#     `strip_sweep/serial/*`, `phase_build/serial/*` or
+#     `planner_bindings/planned/*` entry is a tracked regression and fails
+#     the script (exit non-zero);
 #   * the sweep must still beat the naive splitter, the incremental update
 #     path must beat the full rebuild, a k-insert transaction must beat k
 #     sequential insert+read rounds, and the zero-copy view assembly must
 #     beat the copying assembly, at the largest sizes;
 #   * on multi-core hosts, the parallel cold build on all threads must beat
-#     the single-thread build, and the strip-decomposed sweep on all threads
+#     the single-thread build, the strip-decomposed sweep on all threads
 #     must beat the monolithic sweep by >1.5x on the dense single-component
-#     map (both skipped on single-core hosts, where no speedup is possible);
+#     map, and the phase-parallel pipeline must beat the strips-only build
+#     by >1.3x on hosts with 4+ cores (a simple win on 2-3 cores; all
+#     skipped on single-core hosts, where no speedup is possible);
 #   * the semi-join planner must beat the cartesian-product enumerator by
-#     >10x on the anchored 2-variable open query at the largest size.
+#     >10x on the anchored 2-variable open query at the largest size;
+#   * the crossing-density seam model's event skew must not exceed the
+#     endpoint-quantile baseline's at the largest strip-sweep size.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -54,7 +61,8 @@ incremental_json="$(mktemp)"
 assembly_json="$(mktemp)"
 strip_json="$(mktemp)"
 planner_json="$(mktemp)"
-trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" "${strip_json}" "${planner_json}" ${baseline:+"${baseline}"}' EXIT
+traffic_json="$(mktemp)"
+trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" "${strip_json}" "${planner_json}" "${traffic_json}" ${baseline:+"${baseline}"}' EXIT
 
 echo "running splitting_sweep_vs_naive scaling group" >&2
 BENCH_JSON="${scaling_json}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
@@ -62,10 +70,12 @@ echo "running incremental_update and batch_update groups" >&2
 BENCH_JSON="${incremental_json}" cargo bench -p bench --bench incremental
 echo "running assemble_view_vs_copy and parallel_cold_build groups" >&2
 BENCH_JSON="${assembly_json}" cargo bench -p bench --bench assembly
-echo "running strip_sweep group" >&2
+echo "running strip_sweep and phase_build groups" >&2
 BENCH_JSON="${strip_json}" cargo bench -p bench --bench strip
 echo "running planner_bindings group" >&2
 BENCH_JSON="${planner_json}" cargo bench -p bench --bench planner
+echo "running open-loop traffic harness" >&2
+BENCH_JSON="${traffic_json}" cargo bench -p bench --bench traffic
 
 # Merge the JSON arrays (each file is one record per line between the
 # bracket lines, so a line-level merge is exact).
@@ -77,6 +87,7 @@ BENCH_JSON="${planner_json}" cargo bench -p bench --bench planner
         sed -e '1d' -e '$d' "${assembly_json}"
         sed -e '1d' -e '$d' "${strip_json}"
         sed -e '1d' -e '$d' "${planner_json}"
+        sed -e '1d' -e '$d' "${traffic_json}"
     } | sed -e 's/},\{0,1\}$/},/' -e '$ s/},$/}/'
     echo "]"
 } > "${abs_out}"
@@ -221,9 +232,67 @@ if [ -n "${largest_plan}" ]; then
     fi
 fi
 
+# Sanity 7: the phase-parallel pipeline (parallel chain merge, face walks,
+# labels and cell assembly downstream of the strip split) beats the
+# strips-only build of the dense single-component map. Margin scales with
+# the hardware like the strip gate: >1.3x on 4+ cores, a simple win on 2-3
+# cores, skipped on single-core hosts (where both series measure pool
+# overhead).
+largest_phase=$({ grep -o '"id": "phase_build/strips_only/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_phase}" ] && [ "${cores}" -gt 1 ]; then
+    strips_ns=$(extract_ns "${out}" "phase_build/strips_only/${largest_phase}")
+    phases_ns=$(extract_ns "${out}" "phase_build/phase_parallel/${largest_phase}")
+    if [ "${cores}" -ge 4 ]; then pmargin="1.3"; else pmargin="1.0"; fi
+    speedup=$(awk -v a="${strips_ns}" -v b="${phases_ns}" 'BEGIN { printf "%.2f", a / b }')
+    echo "phase-parallel build at n=${largest_phase}: strips-only ${strips_ns} ns vs phase-parallel ${phases_ns} ns (${speedup}x on ${cores} cores, required >${pmargin}x)" >&2
+    if [ "$(awk -v a="${strips_ns}" -v b="${phases_ns}" -v m="${pmargin}" 'BEGIN { print (b * m < a) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: phase-parallel build speedup not above ${pmargin}x over strips-only on a ${cores}-core host" >&2
+        exit 1
+    fi
+elif [ -n "${largest_phase}" ]; then
+    echo "single-core host (${cores}): skipping the phase-parallel speedup gate (series measure pool overhead here)" >&2
+fi
+
+# Sanity 8: the crossing-density seam model balances the per-strip event
+# mass at least as well as the retired endpoint-quantile baseline at the
+# largest strip-sweep size (skew = max/mean per-strip events; both counts
+# are deterministic, so the comparison is exact).
+largest_skew=$({ grep -o '"id": "strip_sweep/seam_skew_cost/[0-9]*"' "${out}" || true; } \
+    | grep -o '[0-9]*"' | tr -d '"' | sort -n | tail -1)
+if [ -n "${largest_skew}" ]; then
+    cost_skew=$(extract_value "${out}" "strip_sweep/seam_skew_cost/${largest_skew}")
+    quantile_skew=$(extract_value "${out}" "strip_sweep/seam_skew_quantile/${largest_skew}")
+    echo "seam skew at n=${largest_skew}: cost model ${cost_skew} vs quantile ${quantile_skew} (max/mean per-strip events)" >&2
+    if [ "$(awk -v c="${cost_skew}" -v q="${quantile_skew}" 'BEGIN { print (c <= q) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: the cost-model seams are more skewed than the quantile baseline at n=${largest_skew}" >&2
+        exit 1
+    fi
+fi
+
+# Sanity 9: the open-loop traffic harness produced coherent latency
+# records for the mixed stream (p50 present and <= p99). Latency absolutes
+# are host- and load-dependent, so they are recorded for the trajectory
+# but not gated.
+traffic_p50=$(extract_value "${out}" "traffic/mixed/p50_ns")
+traffic_p99=$(extract_value "${out}" "traffic/mixed/p99_ns")
+if [ -n "${traffic_p50}" ] && [ -n "${traffic_p99}" ]; then
+    offered=$(extract_value "${out}" "traffic/offered_ops_per_s")
+    achieved=$(extract_value "${out}" "traffic/achieved_ops_per_s")
+    echo "traffic mixed stream: p50 ${traffic_p50} ns, p99 ${traffic_p99} ns (offered ${offered} ops/s, achieved ${achieved} ops/s)" >&2
+    if [ "$(awk -v a="${traffic_p50}" -v b="${traffic_p99}" 'BEGIN { print (a <= b) ? "yes" : "no" }')" != "yes" ]; then
+        echo "error: traffic p50 exceeds p99 — the latency accounting is broken" >&2
+        exit 1
+    fi
+else
+    echo "error: the traffic harness recorded no mixed-stream percentiles" >&2
+    exit 1
+fi
+
 # Perf trajectory: per-benchmark deltas against the committed snapshot; a
 # >25% slowdown in any sweep/*, assemble_view_vs_copy/view/*,
-# strip_sweep/serial/* or planner_bindings/planned/* entry fails.
+# strip_sweep/serial/*, phase_build/serial/* or planner_bindings/planned/*
+# entry fails.
 # Work-metric records ({id, value}) are informational and not gated here
 # (the planner's assignments-tried gate above covers them).
 if [ -n "${baseline}" ]; then
@@ -249,7 +318,8 @@ if [ -n "${baseline}" ]; then
                 delta = (new[id] - old[id]) / old[id] * 100
                 flag = ""
                 gated = index(id, "/sweep/") > 0 || index(id, "assemble_view_vs_copy/view/") > 0 \
-                    || index(id, "strip_sweep/serial/") > 0 || index(id, "planner_bindings/planned/") > 0
+                    || index(id, "strip_sweep/serial/") > 0 || index(id, "phase_build/serial/") > 0 \
+                    || index(id, "planner_bindings/planned/") > 0
                 if (gated && delta > 25) { flag = "  REGRESSION"; regressions++ }
                 printf "  %-55s %14.1f ns  (%+.1f%%)%s\n", id, new[id], delta, flag
             }

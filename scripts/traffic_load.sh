@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Open-loop traffic driver for the topodb facade.
+#
+# Thin wrapper around the `traffic` bench (crates/bench/benches/traffic.rs):
+# replays a mixed snapshot-read / prepared-query / write-transaction
+# workload from many client threads at a configured per-client arrival
+# rate, then prints the per-class p50/p99 latency report. Latency is
+# measured from each operation's *scheduled* arrival time, so a server
+# that falls behind shows the backlog as queueing delay instead of
+# silently throttling the offered load.
+#
+# Usage: scripts/traffic_load.sh [clients [rate [ops]]]
+#
+#   clients  concurrent client threads      (default: min(cores, 8), >= 2)
+#   rate     ops/second offered per client  (default: 200)
+#   ops      operations issued per client   (default: 400)
+#
+# The machine-readable {id, value} records land in the file named by
+# $BENCH_JSON if set (default: a temp file, printed at exit). To fold a
+# run into the committed perf trajectory use scripts/bench_snapshot.sh,
+# which runs this harness at the defaults.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${BENCH_JSON:-$(mktemp /tmp/traffic_XXXX.json)}"
+case "${out}" in
+    /*) abs_out="${out}" ;;
+    *) abs_out="$(pwd)/${out}" ;;
+esac
+
+env_args=()
+[ "$#" -ge 1 ] && env_args+=("TRAFFIC_CLIENTS=$1")
+[ "$#" -ge 2 ] && env_args+=("TRAFFIC_RATE=$2")
+[ "$#" -ge 3 ] && env_args+=("TRAFFIC_OPS=$3")
+
+env "${env_args[@]+"${env_args[@]}"}" BENCH_JSON="${abs_out}" \
+    cargo bench -p bench --bench traffic
+
+echo "traffic records written to ${abs_out}" >&2
