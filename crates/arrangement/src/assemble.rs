@@ -188,6 +188,61 @@ pub fn build_group_component_phased(
     build_component_complex_phased(local_names, &segments, strip_budget, phase_parallel)
 }
 
+/// The outcome of [`build_components_with_reuse`]: the partition's
+/// per-group sorted region-name keys and the corresponding component
+/// sub-complexes, both in partition order, plus how many components had to
+/// be swept from scratch (the rest came out of `reuse` pointer-identically).
+pub struct ComponentSet {
+    /// Sorted region-name set of each partition group, in partition order.
+    pub keys: Vec<Vec<String>>,
+    /// The component sub-complex of each group, aligned with `keys`.
+    pub components: Vec<Arc<ComponentComplex>>,
+    /// How many entries of `components` were swept from scratch.
+    pub rebuilt: usize,
+}
+
+/// Partition `instance` and produce every component sub-complex, asking
+/// `reuse` for an already-built component first: `reuse(key)` receives the
+/// group's sorted region-name set and may return a previously built
+/// component for it (which is used as-is, pointer-identically — the caller
+/// guarantees it matches the group's current geometry). Groups `reuse`
+/// declines are swept from scratch — concurrently on the shared worker pool
+/// ([`crate::parallel`]), sharing the thread budget between the component
+/// fan-out and each component's own strip decomposition
+/// ([`crate::strip::strip_budget`]).
+///
+/// This is the builder entry point behind incremental maintenance in
+/// `topodb`: both the epoch-chain and the legacy cache paths express
+/// "re-sweep only what changed against a base epoch" as a `reuse` closure
+/// over the base's component map.
+pub fn build_components_with_reuse<F>(instance: &SpatialInstance, reuse: F) -> ComponentSet
+where
+    F: Fn(&[String]) -> Option<Arc<ComponentComplex>> + Sync,
+{
+    let groups = crate::partition_instance(instance);
+    let names = instance.names();
+    let keys: Vec<Vec<String>> = groups
+        .iter()
+        .map(|g| g.region_indices.iter().map(|&i| names[i].to_string()).collect())
+        .collect();
+    let mut slots: Vec<Option<Arc<ComponentComplex>>> =
+        keys.iter().map(|key| reuse(key)).collect();
+    let missing: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+    let rebuilt = missing.len();
+    if !missing.is_empty() {
+        let threads = crate::parallel::configured_threads();
+        let strip_budget = crate::strip::strip_budget(missing.len(), threads);
+        let built = crate::parallel::map_indexed(missing.len(), threads, |j| {
+            Arc::new(build_group_component_budgeted(instance, &groups[missing[j]], strip_budget))
+        });
+        for (j, component) in built.into_iter().enumerate() {
+            slots[missing[j]] = Some(component);
+        }
+    }
+    let components = slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+    ComponentSet { keys, components, rebuilt }
+}
+
 /// Overwrite the positions of a component's own regions in an inherited
 /// parent label.
 pub(crate) fn widen_label(parent: &Label, local: &Label, region_map: &[usize]) -> Label {

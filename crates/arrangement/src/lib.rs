@@ -167,8 +167,8 @@ mod view;
 
 pub use assemble::{
     assemble_components, build_component_complex, build_component_complex_budgeted,
-    build_component_complex_phased, build_group_component, build_group_component_budgeted,
-    build_group_component_phased, ComponentComplex,
+    build_component_complex_phased, build_components_with_reuse, build_group_component,
+    build_group_component_budgeted, build_group_component_phased, ComponentComplex, ComponentSet,
 };
 pub use builder::{
     build_complex, build_complex_monolithic, build_complex_phased, build_complex_view,

@@ -75,6 +75,15 @@ impl BBox {
         self.x0 <= p.x && p.x <= self.x1 && self.y0 <= p.y && p.y <= self.y1
     }
 
+    /// Does the closed box contain the whole of `other` (non-strictly —
+    /// shared edges count)? Containment of boxes is what bbox *nesting*
+    /// means: `a.contains_box(b)` is a necessary condition for region `b`
+    /// to be inside (or covered by, or equal to) region `a`, since a
+    /// region's closure is bounded by its boundary's box.
+    pub fn contains_box(&self, other: &BBox) -> bool {
+        self.x0 <= other.x0 && self.y0 <= other.y0 && other.x1 <= self.x1 && other.y1 <= self.y1
+    }
+
     /// The smallest box containing both operands.
     pub fn union(&self, other: &BBox) -> BBox {
         BBox {

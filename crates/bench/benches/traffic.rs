@@ -12,24 +12,44 @@
 //! coordinated-omission trap of closed-loop harnesses, where a slow server
 //! makes its own tail latencies look better by slowing the clients down.
 //!
-//! The database is a `clustered_map(8, 4)` behind an outer `RwLock` (reads
-//! and queries go through `&TopoDatabase`, which is `Sync`; only
-//! `TopoDatabase::begin` needs `&mut`). The per-operation mix, drawn from
-//! each client's seeded RNG:
+//! All clients share one `&TopoDatabase` directly — no outer lock. Reads
+//! and queries acquire snapshots (wait-free on the epoch-chain backend);
+//! transactions commit through [`TopoDatabase::begin_shared`], so
+//! concurrent writers build their epochs outside any lock and serialize
+//! only at the publish compare-exchange. Setting `TOPODB_EPOCH_CHAIN=off`
+//! runs the same workload against the legacy `RwLock`-cache backend for
+//! comparison.
 //!
-//! * **60% reads** — `snapshot()` + `Snapshot::relation` between two
+//! The per-operation mix, drawn from each client's seeded RNG, is selected
+//! by `TRAFFIC_MIX`:
+//!
+//! * `read-heavy` (default) — 60% reads / 30% queries / 10% transactions;
+//! * `txn-heavy` — 30% reads / 30% queries / 40% transactions, the commit
+//!   pipeline under pressure: most scheduled arrivals are epoch publishes,
+//!   and the read p99 exposes how well snapshot acquisition holds up while
+//!   writers continuously re-sweep and publish.
+//!
+//! The operation classes:
+//!
+//! * **reads** — `snapshot()` + `Snapshot::relation` between two
 //!   pseudo-random base regions (the warm path: one `Arc` bump plus a
 //!   cached 4-intersection classification);
-//! * **30% queries** — `Snapshot::evaluate` of a pre-compiled anchored
-//!   open query `overlap(ext(x), C{c}_R000)` (the semi-join planner path);
-//! * **10% transactions** — insert of a pseudo-random rectangle under a
-//!   thread-local name into a pseudo-random cluster (or removal of a
-//!   previously inserted one), which bumps the epoch and forces the next
-//!   snapshot to re-sweep the dirtied cluster.
+//! * **queries** — `Snapshot::evaluate` of a pre-compiled anchored open
+//!   query `overlap(ext(x), C{c}_R000)` (the semi-join planner path);
+//! * **transactions** — insert of a pseudo-random rectangle under a
+//!   thread-local name into the client's home cluster (or removal of a
+//!   previously inserted one), which publishes a new epoch re-sweeping the
+//!   dirtied cluster.
+//!
+//! The base map is selected by `TRAFFIC_MAP`: `small` (default, 8 clusters
+//! of 4 regions) or `clustered4096` (64 clusters of 64 regions — 4096
+//! base regions, the scale where per-commit re-sweep locality and
+//! wait-free reads actually matter).
 //!
 //! Knobs: `TRAFFIC_CLIENTS` (threads), `TRAFFIC_RATE` (ops/s per client),
-//! `TRAFFIC_OPS` (ops per client). `--test` smoke mode shrinks all three
-//! so CI merely exercises every path once per class.
+//! `TRAFFIC_OPS` (ops per client), `TRAFFIC_MIX`, `TRAFFIC_MAP`. `--test`
+//! smoke mode shrinks the volume knobs so CI merely exercises every path
+//! once per class.
 //!
 //! Recorded metrics (`{id, value}` records in `BENCH_JSON`, merged into
 //! `BENCH_arrangement.json` by `scripts/bench_snapshot.sh`):
@@ -40,16 +60,9 @@
 use criterion::{criterion_group, criterion_main, record_metric, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::RwLock;
 use std::time::{Duration, Instant};
 use topodb::query::PreparedQuery;
 use topodb::TopoDatabase;
-
-/// Cluster count of the base map; transactions target `tid % CLUSTERS`.
-const CLUSTERS: usize = 8;
-/// Base regions per cluster (never touched by the write mix, so reads and
-/// anchored queries always resolve).
-const PER_CLUSTER: usize = 4;
 
 /// Operation classes, indexed by the discriminant stored per sample.
 const READ: usize = 0;
@@ -59,6 +72,23 @@ const CLASS_NAMES: [&str; 3] = ["read", "query", "txn"];
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+/// The workload shape: out of every 10 scheduled operations, how many are
+/// reads / queries / transactions.
+fn mix_weights() -> ([usize; 3], &'static str) {
+    match std::env::var("TRAFFIC_MIX").unwrap_or_default().trim().to_ascii_lowercase().as_str() {
+        "txn-heavy" | "txn_heavy" | "write-heavy" => ([3, 3, 4], "txn-heavy"),
+        _ => ([6, 3, 1], "read-heavy"),
+    }
+}
+
+/// The base map: `(clusters, regions per cluster, label)`.
+fn map_shape() -> (usize, usize, &'static str) {
+    match std::env::var("TRAFFIC_MAP").unwrap_or_default().trim().to_ascii_lowercase().as_str() {
+        "clustered4096" | "large" | "4096" => (64, 64, "clustered4096"),
+        _ => (8, 4, "small"),
+    }
 }
 
 /// Nearest-rank percentile over an already-sorted sample vector.
@@ -72,10 +102,13 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 
 /// One client's replay: issue `ops` operations on the open-loop schedule,
 /// returning `(class, latency_ns)` per operation.
+#[allow(clippy::too_many_arguments)]
 fn run_client(
-    db: &RwLock<TopoDatabase>,
+    db: &TopoDatabase,
     queries: &[PreparedQuery],
     names: &[String],
+    mix: [usize; 3],
+    clusters: usize,
     tid: usize,
     ops: usize,
     period: Duration,
@@ -93,37 +126,33 @@ fn run_client(
         if now < scheduled {
             std::thread::sleep(scheduled - now);
         }
-        let class = match rng.gen_range(0..10usize) {
-            0..=5 => {
-                let a = &names[rng.gen_range(0..names.len())];
-                let b = &names[rng.gen_range(0..names.len())];
-                let snap = db.read().expect("db lock").snapshot();
-                std::hint::black_box(snap.relation(a, b).expect("base regions exist"));
-                READ
+        let roll = rng.gen_range(0..10usize);
+        let class = if roll < mix[READ] {
+            let a = &names[rng.gen_range(0..names.len())];
+            let b = &names[rng.gen_range(0..names.len())];
+            let snap = db.snapshot();
+            std::hint::black_box(snap.relation(a, b).expect("base regions exist"));
+            READ
+        } else if roll < mix[READ] + mix[QUERY] {
+            let q = &queries[rng.gen_range(0..queries.len())];
+            let snap = db.snapshot();
+            std::hint::black_box(snap.evaluate(q).expect("anchored query evaluates"));
+            QUERY
+        } else {
+            let cluster = tid % clusters;
+            let mut txn = db.begin_shared();
+            if inserted.len() >= 4 {
+                // Keep the thread-local working set bounded: retire the
+                // oldest extra region instead of growing forever.
+                txn.remove(inserted.remove(0));
+            } else {
+                let name = format!("T{tid:02}_N{serial:04}");
+                serial += 1;
+                txn.insert(name.clone(), datagen::cluster_rect(&mut rng, cluster, clusters));
+                inserted.push(name);
             }
-            6..=8 => {
-                let q = &queries[rng.gen_range(0..queries.len())];
-                let snap = db.read().expect("db lock").snapshot();
-                std::hint::black_box(snap.evaluate(q).expect("anchored query evaluates"));
-                QUERY
-            }
-            _ => {
-                let cluster = tid % CLUSTERS;
-                let mut guard = db.write().expect("db lock");
-                let mut txn = guard.begin();
-                if inserted.len() >= 4 {
-                    // Keep the thread-local working set bounded: retire the
-                    // oldest extra region instead of growing forever.
-                    txn.remove(inserted.remove(0));
-                } else {
-                    let name = format!("T{tid:02}_N{serial:04}");
-                    serial += 1;
-                    txn.insert(name.clone(), datagen::cluster_rect(&mut rng, cluster, CLUSTERS));
-                    inserted.push(name);
-                }
-                txn.commit();
-                TXN
-            }
+            txn.commit();
+            TXN
         };
         samples.push((class, (start.elapsed() - scheduled).as_nanos() as u64));
     }
@@ -137,16 +166,16 @@ fn traffic(_c: &mut Criterion) {
     let clients = env_usize("TRAFFIC_CLIENTS", default_clients);
     let rate = env_usize("TRAFFIC_RATE", if smoke { 1000 } else { 200 });
     let ops = env_usize("TRAFFIC_OPS", if smoke { 30 } else { 400 });
+    let (mix, mix_label) = mix_weights();
+    let (clusters, per_cluster, map_label) = map_shape();
     let period = Duration::from_secs(1).div_f64(rate as f64);
 
-    let db = RwLock::new(TopoDatabase::from_instance(datagen::clustered_map(
-        CLUSTERS, PER_CLUSTER, 4242,
-    )));
-    let names: Vec<String> = db.read().expect("db lock").names();
+    let db = TopoDatabase::from_instance(datagen::clustered_map(clusters, per_cluster, 4242));
+    let names: Vec<String> = db.names();
     // Warm the initial snapshot outside the measured window so the first
     // scheduled read does not pay the cold build.
-    db.read().expect("db lock").snapshot();
-    let queries: Vec<PreparedQuery> = (0..CLUSTERS)
+    db.snapshot();
+    let queries: Vec<PreparedQuery> = (0..clusters)
         .map(|c| {
             PreparedQuery::compile(&format!("overlap(ext(x), C{c:03}_R000)"))
                 .expect("anchored open query compiles")
@@ -155,8 +184,9 @@ fn traffic(_c: &mut Criterion) {
 
     eprintln!(
         "traffic: {clients} clients x {ops} ops at {rate} ops/s each \
-         (offered {} ops/s total{})",
+         (offered {} ops/s total, {mix_label} mix, {map_label} map, {} backend{})",
         clients * rate,
+        if db.epoch_chain_enabled() { "epoch-chain" } else { "legacy rwlock" },
         if smoke { ", smoke mode" } else { "" }
     );
 
@@ -167,7 +197,9 @@ fn traffic(_c: &mut Criterion) {
                 let db = &db;
                 let queries = &queries;
                 let names = &names;
-                scope.spawn(move || run_client(db, queries, names, tid, ops, period, start))
+                scope.spawn(move || {
+                    run_client(db, queries, names, mix, clusters, tid, ops, period, start)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()

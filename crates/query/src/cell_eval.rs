@@ -95,10 +95,15 @@ pub struct CellEvaluator {
     /// and planned paths both count; shared by clones). See
     /// [`CellEvaluator::assignments_tried`].
     assignments: Arc<AtomicU64>,
-    /// Number of `Rel` atoms answered by the bounding-box disjointness
+    /// Number of `Rel` atoms answered by the bounding-box *disjointness*
     /// short-circuit without touching the complex (shared by clones). See
-    /// [`CellEvaluator::rel_shortcuts`].
+    /// [`CellEvaluator::rel_shortcuts_by_kind`].
     rel_shortcut_hits: Arc<AtomicU64>,
+    /// Number of `Rel` atoms *refuted* by the bounding-box nesting
+    /// short-circuit — a containment-implying atom whose operand boxes are
+    /// not nested accordingly (shared by clones). See
+    /// [`CellEvaluator::rel_shortcuts_by_kind`].
+    rel_nesting_hits: Arc<AtomicU64>,
     /// All legitimate quantifier values (disc-like unions of bounded faces),
     /// enumerated lazily on first use. A [`std::sync::OnceLock`] (not a
     /// `Cell`-based cache) so the evaluator is `Sync` and can serve query
@@ -163,6 +168,7 @@ impl CellEvaluator {
             index: OnceLock::new(),
             assignments: Arc::new(AtomicU64::new(0)),
             rel_shortcut_hits: Arc::new(AtomicU64::new(0)),
+            rel_nesting_hits: Arc::new(AtomicU64::new(0)),
             domain: OnceLock::new(),
             domain_cap: 100_000,
         }
@@ -201,12 +207,31 @@ impl CellEvaluator {
         self.assignments.load(Ordering::Relaxed)
     }
 
-    /// How many `Rel` atoms were answered by the bounding-box disjointness
-    /// short-circuit (both operands named, boxes not interacting) without
-    /// computing a 4-intersection matrix. Shared by all clones; a
-    /// planner-work metric like [`CellEvaluator::assignments_tried`].
+    /// How many `Rel` atoms were answered by a bounding-box short-circuit
+    /// (either kind) without computing a 4-intersection matrix. Shared by
+    /// all clones; a planner-work metric like
+    /// [`CellEvaluator::assignments_tried`]. The split by kind is
+    /// [`CellEvaluator::rel_shortcuts_by_kind`].
     pub fn rel_shortcuts(&self) -> u64 {
-        self.rel_shortcut_hits.load(Ordering::Relaxed)
+        let (disjoint, nesting) = self.rel_shortcuts_by_kind();
+        disjoint + nesting
+    }
+
+    /// The bounding-box short-circuit counts split by kind:
+    /// `(disjointness, nesting)`.
+    ///
+    /// * **Disjointness** — both operands named, boxes not interacting:
+    ///   every relation atom is *answered* (`disjoint` holds, the seven
+    ///   others don't).
+    /// * **Nesting** — both operands named, boxes interacting, but the atom
+    ///   implies a containment its boxes refute: `contains`/`covers`
+    ///   require the left box to contain the right, `inside`/`covered_by`
+    ///   the converse, `equal` requires identical boxes. The atom is
+    ///   answered `false`; atoms whose boxes *are* nested accordingly fall
+    ///   through to the full classifier (nesting of boxes is necessary,
+    ///   not sufficient).
+    pub fn rel_shortcuts_by_kind(&self) -> (u64, u64) {
+        (self.rel_shortcut_hits.load(Ordering::Relaxed), self.rel_nesting_hits.load(Ordering::Relaxed))
     }
 
     /// The region names known to the evaluator.
@@ -822,24 +847,40 @@ impl CellEvaluator {
     fn eval_inner(&self, formula: &Formula, env: &mut Environment) -> Result<bool, EvalError> {
         match formula {
             Formula::Rel(r, p, q) => {
-                // Bounding-box short-circuit for named operands: a region's
-                // closure lies inside its boundary bbox, so two named
-                // regions whose boxes don't interact are provably
-                // `disjoint` — the atom is answered without materializing
-                // face sets or intersecting cell sets. Anonymous
-                // (quantified) operands have no precomputed box and fall
-                // through to the full 4-intersection classifier, as do the
-                // degenerate cases (missing box, empty face set).
+                // Bounding-box short-circuits for named operands: a
+                // region's closure lies inside its boundary bbox, so (a)
+                // two named regions whose boxes don't interact are provably
+                // `disjoint`, and (b) a containment-implying atom whose
+                // boxes are not nested accordingly is provably false —
+                // `contains`/`covers` imply the right closure sits inside
+                // the left (so the right box inside the left box),
+                // `inside`/`covered_by` the converse, `equal` implies
+                // identical boundaries and hence identical boxes. Either
+                // way the atom is answered without materializing face sets
+                // or intersecting cell sets. Anonymous (quantified)
+                // operands have no precomputed box and fall through to the
+                // full 4-intersection classifier, as do the degenerate
+                // cases (missing box, empty face set — empty regions
+                // compare `equal` whatever their boxes).
                 if let (RegionExpr::Ext(pt), RegionExpr::Ext(qt)) = (p, q) {
                     let pi = self.resolve_name(pt, env)?;
                     let qi = self.resolve_name(qt, env)?;
                     if let (Some(pb), Some(qb)) = (&self.bboxes[pi], &self.bboxes[qi]) {
-                        if !pb.intersects(qb)
-                            && !self.name_sets[pi].is_empty()
-                            && !self.name_sets[qi].is_empty()
-                        {
-                            self.rel_shortcut_hits.fetch_add(1, Ordering::Relaxed);
-                            return Ok(*r == Relation4::Disjoint);
+                        if !self.name_sets[pi].is_empty() && !self.name_sets[qi].is_empty() {
+                            if !pb.intersects(qb) {
+                                self.rel_shortcut_hits.fetch_add(1, Ordering::Relaxed);
+                                return Ok(*r == Relation4::Disjoint);
+                            }
+                            let nested = match r {
+                                Relation4::Contains | Relation4::Covers => pb.contains_box(qb),
+                                Relation4::Inside | Relation4::CoveredBy => qb.contains_box(pb),
+                                Relation4::Equal => pb == qb,
+                                _ => true,
+                            };
+                            if !nested {
+                                self.rel_nesting_hits.fetch_add(1, Ordering::Relaxed);
+                                return Ok(false);
+                            }
                         }
                     }
                     let a = self.name_sets[pi].clone();
@@ -1135,6 +1176,77 @@ mod tests {
         let q = F::rel(Disjoint, R::named("A"), R::named("B"));
         assert_eq!(ev.eval(&q), Ok(true));
         assert_eq!(ev.rel_shortcuts(), 0, "interacting boxes must not shortcut");
+    }
+
+    #[test]
+    fn rel_nesting_shortcut_refutes_containment_atoms() {
+        use spatial_core::prelude::Region;
+        // Overlapping boxes, neither containing the other, and unequal:
+        // every containment-implying atom is refuted by nesting alone,
+        // while `disjoint`/`meet`/`overlap` fall through to the classifier.
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 6, 6)),
+            ("B", Region::rect_from_ints(4, 4, 10, 10)),
+        ]);
+        let ev = CellEvaluator::new(&inst);
+        for r in [
+            relations::Relation4::Contains,
+            relations::Relation4::Inside,
+            relations::Relation4::Covers,
+            relations::Relation4::CoveredBy,
+            relations::Relation4::Equal,
+        ] {
+            let q = F::rel(r, R::named("A"), R::named("B"));
+            assert_eq!(ev.eval(&q), Ok(false), "atom {r}");
+        }
+        let (disjoint_hits, nesting_hits) = ev.rel_shortcuts_by_kind();
+        assert_eq!(disjoint_hits, 0, "boxes interact, the disjointness kind never fires");
+        assert_eq!(nesting_hits, 5, "every containment-implying atom was refuted by nesting");
+        assert_eq!(ev.rel_shortcuts(), 5, "the total is the sum of both kinds");
+    }
+
+    #[test]
+    fn rel_nesting_shortcut_falls_through_when_boxes_nest() {
+        use spatial_core::prelude::{Polygon, Region};
+        // The triangle's bbox contains the square's, but the square lies
+        // beyond the hypotenuse: `contains(A, B)` is false *geometrically*,
+        // and only the full classifier can tell — nested boxes are
+        // necessary, not sufficient, so the shortcut must not fire.
+        let tri = Polygon::from_ints(&[(0, 0), (10, 0), (0, 10)]).unwrap();
+        let inst = SpatialInstance::from_regions([
+            ("A", Region::polygon(tri)),
+            ("B", Region::rect_from_ints(7, 7, 9, 9)),
+        ]);
+        let ev = CellEvaluator::new(&inst);
+        let q = F::rel(relations::Relation4::Contains, R::named("A"), R::named("B"));
+        assert_eq!(ev.eval(&q), Ok(false));
+        assert_eq!(ev.rel_shortcuts(), 0, "nested boxes must reach the classifier");
+
+        // And a true containment with nested boxes also falls through —
+        // the shortcut only ever *refutes*.
+        let inst2 = SpatialInstance::from_regions([
+            ("A", Region::rect_from_ints(0, 0, 10, 10)),
+            ("B", Region::rect_from_ints(3, 3, 6, 6)),
+        ]);
+        let ev2 = CellEvaluator::new(&inst2);
+        let q2 = F::rel(relations::Relation4::Contains, R::named("A"), R::named("B"));
+        assert_eq!(ev2.eval(&q2), Ok(true));
+        assert_eq!(ev2.rel_shortcuts(), 0);
+    }
+
+    #[test]
+    fn rel_nesting_shortcut_agrees_with_classifier_on_fig_2_pairs() {
+        // Differential: on every fig. 2 pair, every atom answered with the
+        // shortcuts enabled equals the pure classifier's verdict (the
+        // shortcut only fires where the classifier would agree).
+        for (name, inst) in fixtures::fig_2_pairs() {
+            let expected = relations::Relation4::from_name(name).unwrap();
+            let ev = CellEvaluator::new(&inst);
+            for r in relations::Relation4::ALL {
+                let q = F::rel(r, R::named("A"), R::named("B"));
+                assert_eq!(ev.eval(&q), Ok(r == expected), "{name} vs atom {r}");
+            }
+        }
     }
 
     #[test]

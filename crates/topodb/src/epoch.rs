@@ -1,0 +1,410 @@
+//! The epoch chain: wait-free snapshot publication for
+//! [`TopoDatabase`](crate::TopoDatabase).
+//!
+//! The chain is a singly-linked list of immutable, fully-built epochs
+//! ([`EpochState`]), newest first, published through an atomic pointer
+//! ([`swap::ArcSwap`]). Readers never take a lock: acquiring a snapshot is
+//! one atomic head load plus an `Arc` refcount bump. Writers run a
+//! three-stage pipeline:
+//!
+//! 1. **Intent** — under the small writers-only mutex, load the head as the
+//!    *base epoch* and register its number in the writers registry, which
+//!    pins the chain: pruning never severs a `prev` link below the minimum
+//!    registered base, so conflict resolution can always walk from any later
+//!    head back down to a registered base.
+//! 2. **Build, outside any lock** — apply the buffered operations to a copy
+//!    of the base instance, then re-sweep only the partition groups whose
+//!    region-name set meets a changed name; every other group reuses the
+//!    base epoch's `Arc<ComponentComplex>` pointer-identically
+//!    ([`arrangement::build_components_with_reuse`], on the shared worker
+//!    pool under the strip-budget split). The result is a complete new
+//!    [`EpochState`] — view, snapshot and component map — constructed while
+//!    readers keep loading the old head and other writers build their own
+//!    epochs concurrently.
+//! 3. **Publish** — compare-exchange the head from the base to the new
+//!    epoch. On conflict (another writer published first), collect the
+//!    names changed by the intervening epochs (a `prev`-walk from the new
+//!    head down to the old base), rebuild **only** the components those
+//!    names invalidate — reusing the new head's components where this
+//!    commit didn't touch them and this attempt's own components where the
+//!    intervening commits didn't — re-register against the new base, and
+//!    retry. Two commits touching disjoint components therefore both build
+//!    concurrently and the loser's retry is a pure re-assembly (zero
+//!    re-sweeps).
+//!
+//! **Reclamation invariant.** Three mechanisms bound memory without ever
+//! freeing under a reader: (a) the head swap itself retires the old head
+//! into [`swap::ArcSwap`]'s limbo list, which frees it only after both
+//! reader-pin slots have been observed empty at generation flips *after*
+//! the retirement; (b) the `prev` chain hanging off the head is pruned
+//! after each publish down to the minimum in-flight writer base (the
+//! registry), so the list length is bounded by concurrent writers, not by
+//! history; (c) severed epochs are plain `Arc`s — long-lived
+//! [`Snapshot`]s keep exactly the cells they reference alive and nothing
+//! else.
+
+use crate::snapshot::Snapshot;
+use crate::transaction::{CommitSummary, Op};
+use arrangement::{CellComplex, ComponentComplex, GlobalComplexView};
+use spatial_core::instance::SpatialInstance;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+pub(crate) mod swap;
+use swap::ArcSwap;
+
+/// Build/diagnostic counters shared by both backends of the facade.
+#[derive(Default)]
+pub(crate) struct BuildCounters {
+    /// Global assemblies performed (see
+    /// [`TopoDatabase::complex_build_count`](crate::TopoDatabase::complex_build_count)).
+    pub complex_builds: AtomicU64,
+    /// Component sub-complexes swept from scratch.
+    pub component_rebuilds: AtomicU64,
+    /// Epoch-chain publish attempts that lost the head compare-exchange and
+    /// retried against the intervening epoch.
+    pub publish_conflicts: AtomicU64,
+}
+
+/// One immutable epoch of the database: the instance as of that epoch, the
+/// derived structures, and the link to the predecessor epoch.
+pub(crate) struct EpochState {
+    /// The epoch number ([`Snapshot::epoch`] of this epoch's snapshot).
+    pub epoch: u64,
+    /// The instance as of this epoch.
+    pub instance: Arc<SpatialInstance>,
+    /// Names changed by the commit that published this epoch (empty for the
+    /// root). Conflict resolution unions these along a `prev` walk.
+    changed: BTreeSet<String>,
+    /// Derived structures. Published epochs are fully built *before* the
+    /// head swap; only the root epoch (constructed without a commit) builds
+    /// lazily on first read, so constructing a database stays free.
+    built: OnceLock<Built>,
+    /// The flat deep-copied complex, materialized only on explicit request
+    /// ([`TopoDatabase::cell_complex`](crate::TopoDatabase::cell_complex)).
+    flat: OnceLock<Arc<CellComplex>>,
+    /// The predecessor epoch; `None` for the root and for epochs whose tail
+    /// has been pruned. Only writers touch this (a `Mutex`, not part of any
+    /// read path).
+    prev: Mutex<Option<Arc<EpochState>>>,
+}
+
+/// The derived structures of one epoch.
+#[derive(Clone)]
+pub(crate) struct Built {
+    /// Component sub-complexes keyed by sorted region-name set — the reuse
+    /// source for the next commit.
+    pub components: BTreeMap<Vec<String>, Arc<ComponentComplex>>,
+    /// The epoch's snapshot (zero-copy view + lazy derived reads).
+    pub snapshot: Snapshot,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Writer-side state is only ever mutated in complete steps (registry
+    // increments/decrements, a prev-link overwrite), so a poisoned mutex
+    // cannot hold torn data.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl EpochState {
+    /// The derived structures, building them on first use (root epoch only —
+    /// published epochs are always pre-built).
+    pub fn built(&self, counters: &BuildCounters) -> &Built {
+        self.built.get_or_init(|| build_epoch(self.epoch, &self.instance, |_| None, counters))
+    }
+
+    /// The derived structures if they have been built.
+    pub fn built_opt(&self) -> Option<&Built> {
+        self.built.get()
+    }
+
+    /// The flat deep-copied complex of this epoch, materialized on first
+    /// request and shared afterwards.
+    pub fn flat(&self, counters: &BuildCounters) -> Arc<CellComplex> {
+        let built = self.built(counters);
+        Arc::clone(
+            self.flat
+                .get_or_init(|| Arc::new(built.snapshot.view_ref().to_cell_complex())),
+        )
+    }
+
+    /// Whether the flat copy has been materialized (for
+    /// [`TopoDatabase::summary`](crate::TopoDatabase::summary)).
+    pub fn has_flat(&self) -> bool {
+        self.flat.get().is_some()
+    }
+}
+
+/// Apply buffered operations to a copy of `base`, returning the resulting
+/// instance and the names whose membership or geometry actually changed, in
+/// first-change order (replacing a region by an identical one and removing
+/// an absent name do not count).
+pub(crate) fn apply_ops(base: &SpatialInstance, ops: &[Op]) -> (SpatialInstance, Vec<String>) {
+    let mut next = base.clone();
+    let mut changed: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert(name, region) => {
+                let replaced = next.insert(name.clone(), region.clone());
+                // Replacing a region with an identical one changes nothing
+                // (compare against the stored geometry; `insert` consumed
+                // the new one).
+                let unchanged = replaced.is_some() && next.ext(name) == replaced.as_ref();
+                if !unchanged && !changed.contains(name) {
+                    changed.push(name.clone());
+                }
+            }
+            Op::Remove(name) => {
+                if next.remove(name).is_some() && !changed.contains(name) {
+                    changed.push(name.clone());
+                }
+            }
+        }
+    }
+    (next, changed)
+}
+
+/// Build the derived structures of an epoch: partition, sweep every group
+/// `reuse` declines (concurrently), assemble the zero-copy view, wrap it in
+/// a snapshot.
+pub(crate) fn build_epoch<F>(
+    epoch: u64,
+    instance: &SpatialInstance,
+    reuse: F,
+    counters: &BuildCounters,
+) -> Built
+where
+    F: Fn(&[String]) -> Option<Arc<ComponentComplex>> + Sync,
+{
+    let set = arrangement::build_components_with_reuse(instance, reuse);
+    counters.component_rebuilds.fetch_add(set.rebuilt as u64, Ordering::Relaxed);
+    counters.complex_builds.fetch_add(1, Ordering::Relaxed);
+    let components: BTreeMap<Vec<String>, Arc<ComponentComplex>> =
+        set.keys.iter().cloned().zip(set.components.iter().cloned()).collect();
+    let global_names: Vec<String> = instance.names().iter().map(|s| s.to_string()).collect();
+    let view = Arc::new(GlobalComplexView::new(global_names, set.components));
+    Built { components, snapshot: Snapshot::new(epoch, view) }
+}
+
+/// The epoch chain itself: the published head plus the writers registry.
+pub(crate) struct EpochChain {
+    head: ArcSwap<EpochState>,
+    /// Base epochs of in-flight commits (a multiset: epoch → writer count).
+    /// Registration happens under this mutex *before* the base head is
+    /// adopted, and pruning happens under it too, so the chain is never
+    /// severed below a registered base.
+    writers: Mutex<BTreeMap<u64, usize>>,
+}
+
+/// Deregisters a writer's base epoch on drop, so a panicking build never
+/// pins the chain forever.
+struct Intent<'a> {
+    chain: &'a EpochChain,
+    epoch: u64,
+}
+
+impl Intent<'_> {
+    /// Move this writer's registration to a new base epoch (conflict retry).
+    fn rebase(&mut self, new_epoch: u64) {
+        let mut writers = lock(&self.chain.writers);
+        deregister(&mut writers, self.epoch);
+        *writers.entry(new_epoch).or_insert(0) += 1;
+        self.epoch = new_epoch;
+    }
+}
+
+impl Drop for Intent<'_> {
+    fn drop(&mut self) {
+        deregister(&mut lock(&self.chain.writers), self.epoch);
+    }
+}
+
+fn deregister(writers: &mut BTreeMap<u64, usize>, epoch: u64) {
+    if let Some(count) = writers.get_mut(&epoch) {
+        *count -= 1;
+        if *count == 0 {
+            writers.remove(&epoch);
+        }
+    }
+}
+
+impl EpochChain {
+    pub fn new(instance: Arc<SpatialInstance>) -> Self {
+        let root = EpochState {
+            epoch: 0,
+            instance,
+            changed: BTreeSet::new(),
+            built: OnceLock::new(),
+            flat: OnceLock::new(),
+            prev: Mutex::new(None),
+        };
+        EpochChain { head: ArcSwap::new(Arc::new(root)), writers: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The current head epoch — one atomic load plus an `Arc` bump, no lock.
+    pub fn head(&self) -> Arc<EpochState> {
+        self.head.load()
+    }
+
+    /// Commit a batch: the three-stage pipeline described in the module
+    /// docs. Returns the epoch the batch published (or the base epoch, if
+    /// the batch changed nothing).
+    pub fn commit(&self, ops: Vec<Op>, counters: &BuildCounters) -> CommitSummary {
+        // Stage 1 — write intent: adopt the head as base and register it,
+        // both under the writers mutex, so the chain stays walkable down to
+        // this base however many commits land first.
+        let (base, mut intent) = {
+            let mut writers = lock(&self.writers);
+            let base = self.head.load();
+            *writers.entry(base.epoch).or_insert(0) += 1;
+            let epoch = base.epoch;
+            (base, Intent { chain: self, epoch })
+        };
+
+        // Stage 2 — build outside any lock.
+        let (next_instance, mut changed) = apply_ops(&base.instance, &ops);
+        if changed.is_empty() {
+            return CommitSummary { epoch: base.epoch, changed };
+        }
+        let mut next_instance = Arc::new(next_instance);
+        let mut changed_set: BTreeSet<String> = changed.iter().cloned().collect();
+
+        let mut current_base = base;
+        let mut built = {
+            let base_components = current_base.built_opt().map(|b| &b.components);
+            build_epoch(
+                current_base.epoch + 1,
+                &next_instance,
+                |key: &[String]| {
+                    if key.iter().any(|n| changed_set.contains(n)) {
+                        return None;
+                    }
+                    base_components.and_then(|c| c.get(key)).cloned()
+                },
+                counters,
+            )
+        };
+
+        // Stage 3 — publish, retrying on conflict.
+        loop {
+            let cell = OnceLock::new();
+            let _ = cell.set(built);
+            let next = Arc::new(EpochState {
+                epoch: current_base.epoch + 1,
+                instance: Arc::clone(&next_instance),
+                changed: changed_set.clone(),
+                built: cell,
+                flat: OnceLock::new(),
+                prev: Mutex::new(Some(Arc::clone(&current_base))),
+            });
+            match self.head.compare_exchange(&current_base, Arc::clone(&next)) {
+                Ok(()) => {
+                    drop(intent);
+                    self.prune(&next);
+                    return CommitSummary { epoch: next.epoch, changed };
+                }
+                Err(()) => {
+                    counters.publish_conflicts.fetch_add(1, Ordering::Relaxed);
+                    // `next` was never published: recover this attempt's
+                    // build before `next` is dropped.
+                    let own_components =
+                        next.built.get().expect("unpublished epoch keeps its build").components.clone();
+                    let new_head = self.head.load();
+                    // Names changed between our stale base and the new head
+                    // (None if the walk cannot reach the base — defensive:
+                    // registration makes that unreachable in practice).
+                    let intervening = intervening_changes(&new_head, current_base.epoch);
+                    intent.rebase(new_head.epoch);
+                    // Re-apply the batch against the new head: the published
+                    // instance must carry the intervening commits' changes,
+                    // and this batch's own effect can shrink against the new
+                    // base (e.g. a removal an intervening commit already
+                    // performed).
+                    let (rebased_instance, rebased_changed) =
+                        apply_ops(&new_head.instance, &ops);
+                    if rebased_changed.is_empty() {
+                        return CommitSummary { epoch: new_head.epoch, changed: rebased_changed };
+                    }
+                    next_instance = Arc::new(rebased_instance);
+                    changed = rebased_changed;
+                    changed_set = changed.iter().cloned().collect();
+                    let head_components =
+                        new_head.built_opt().map(|b| b.components.clone()).unwrap_or_default();
+                    let changed_now = &changed_set;
+                    built = build_epoch(
+                        new_head.epoch + 1,
+                        &next_instance,
+                        |key: &[String]| {
+                            // The new head's component is valid unless this
+                            // commit changed one of its regions...
+                            if !key.iter().any(|n| changed_now.contains(n)) {
+                                if let Some(c) = head_components.get(key) {
+                                    return Some(Arc::clone(c));
+                                }
+                            }
+                            // ...and this attempt's own component is valid
+                            // unless an intervening commit did.
+                            match &intervening {
+                                Some(names) if !key.iter().any(|n| names.contains(n)) => {
+                                    own_components.get(key).cloned()
+                                }
+                                _ => None,
+                            }
+                        },
+                        counters,
+                    );
+                    current_base = new_head;
+                }
+            }
+        }
+    }
+
+    /// Sever the `prev` chain below the minimum in-flight writer base (or
+    /// below the head itself when no writer is in flight). Runs under the
+    /// writers mutex — the same lock registration takes *before* adopting a
+    /// base — so no writer can be about to walk below the cut.
+    fn prune(&self, head: &EpochState) {
+        let writers = lock(&self.writers);
+        let keep_from = writers.keys().next().copied().unwrap_or(head.epoch);
+        let mut cursor = {
+            if head.epoch <= keep_from {
+                return;
+            }
+            let guard = lock(&head.prev);
+            match &*guard {
+                Some(prev) => Arc::clone(prev),
+                None => return,
+            }
+        };
+        loop {
+            if cursor.epoch <= keep_from {
+                // Everything strictly below `cursor` is unreachable by any
+                // in-flight writer: cut here.
+                *lock(&cursor.prev) = None;
+                return;
+            }
+            let next = match &*lock(&cursor.prev) {
+                Some(prev) => Arc::clone(prev),
+                None => return,
+            };
+            cursor = next;
+        }
+    }
+}
+
+/// Union of the `changed` sets of every epoch in `(to_epoch, from]`,
+/// walking `prev` links; `None` if the walk hits a severed link first.
+fn intervening_changes(from: &Arc<EpochState>, to_epoch: u64) -> Option<BTreeSet<String>> {
+    let mut acc = BTreeSet::new();
+    let mut cursor = Arc::clone(from);
+    while cursor.epoch > to_epoch {
+        acc.extend(cursor.changed.iter().cloned());
+        let prev = lock(&cursor.prev).clone();
+        match prev {
+            Some(p) => cursor = p,
+            None => return None,
+        }
+    }
+    (cursor.epoch == to_epoch).then_some(acc)
+}

@@ -13,12 +13,15 @@
 //!   complex view and answers 4-intersection relations, region-based
 //!   queries, the topological invariant `T_I` (Section 3), homeomorphism
 //!   tests (Theorem 3.4) and the thematic relational summary `thematic(I)`
-//!   (Corollary 3.7) — from any number of threads concurrently.
-//! * **Writes** go through a [`Transaction`] ([`TopoDatabase::begin`]):
-//!   any number of inserts/removals commit as **one** batch — one epoch
-//!   bump, one eviction of the affected cached components, and at the next
-//!   read one parallel re-sweep of only the union of affected components
-//!   plus one global assembly.
+//!   (Corollary 3.7) — from any number of threads concurrently. Acquiring a
+//!   snapshot is **wait-free** on the default epoch-chain backend: one
+//!   atomic pointer load plus an `Arc` refcount bump, never a lock.
+//! * **Writes** go through a [`Transaction`] ([`TopoDatabase::begin`], or
+//!   [`TopoDatabase::begin_shared`] from a shared reference): any number of
+//!   inserts/removals commit as **one** batch — the commit re-sweeps only
+//!   the affected components (outside any lock, against its base epoch) and
+//!   publishes a complete new epoch with a compare-exchange; commits
+//!   touching disjoint components build concurrently.
 //! * **Queries** compile once into a [`PreparedQuery`]
 //!   (`query::PreparedQuery::compile`) and run against any snapshot of any
 //!   epoch; formulas with free name variables are *set-returning* — they
@@ -58,7 +61,9 @@
 //! assert_eq!(rows.bindings().unwrap()[0]["x"], "Park");
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is confined to `epoch::swap` (the raw-pointer core of the
+// atomic epoch-head slot); every other module is checked by this deny.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use arrangement;
@@ -68,6 +73,7 @@ pub use relations;
 pub use relstore;
 pub use spatial_core;
 
+mod epoch;
 mod error;
 mod snapshot;
 mod transaction;
@@ -78,13 +84,15 @@ pub use snapshot::Snapshot;
 pub use transaction::{CommitSummary, Transaction};
 
 use arrangement::{CellComplex, ComponentComplex, GlobalComplexView};
+use epoch::{BuildCounters, EpochChain};
 use invariant::Invariant;
 use relations::Relation4;
 use spatial_core::instance::SpatialInstance;
 use spatial_core::region::Region;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use transaction::Op;
 
 /// A topological spatial database: named regions plus the derived structures
 /// of the paper (cell complex, invariant, thematic relational summary),
@@ -93,18 +101,15 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 ///
 /// The public surface is split into a write path and a read path:
 ///
-/// * [`TopoDatabase::begin`] opens a [`Transaction`]; buffered
-///   `insert`/`remove` operations commit as one batch with **one** epoch
-///   bump and one eviction of the union of affected components.
+/// * [`TopoDatabase::begin`] (or [`TopoDatabase::begin_shared`] from `&self`)
+///   opens a [`Transaction`]; buffered `insert`/`remove` operations commit
+///   as one batch that re-sweeps only the affected components and starts
+///   **one** new epoch.
 /// * [`TopoDatabase::snapshot`] returns the [`Snapshot`] of the current
 ///   epoch — an immutable, `Send + Sync`, cheaply clonable read handle that
 ///   owns the assembled view and every derived read (relations, queries,
 ///   invariant, thematic). Long-lived snapshots keep answering for their
-///   epoch after later commits (snapshot isolation for readers). The
-///   database itself is `Sync` — the cache sits behind an [`RwLock`], so
-///   *acquiring* snapshots (a read lock on the warm path) is concurrent
-///   too: a service front end can share one `&TopoDatabase` across its
-///   worker threads.
+///   epoch after later commits (snapshot isolation for readers).
 ///
 /// The inherent read methods ([`TopoDatabase::relation`],
 /// [`TopoDatabase::query`], [`TopoDatabase::invariant`], …) and the
@@ -113,30 +118,77 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 /// backward compatibility — new code should prefer snapshots and
 /// transactions.
 ///
-/// ## Component cache and epochs
+/// ## Concurrency model
+///
+/// The default backend is an **epoch chain** (`topodb::epoch`): a
+/// singly-linked list of immutable, fully-built epochs published through an
+/// atomic pointer.
+///
+/// * **Readers are wait-free.** [`TopoDatabase::snapshot`] is one atomic
+///   load of the epoch head plus an `Arc` refcount bump — no read lock, no
+///   write lock, and no rebuild: a published epoch is built *before* it
+///   becomes visible, so a reader never pays for (or waits on) a writer's
+///   re-sweep. The database is `Sync`; a service front end shares one
+///   `&TopoDatabase` across all of its worker threads.
+/// * **Writers build outside any lock.** A commit registers its base epoch
+///   under a small writers-only mutex (the registry also governs how far
+///   back the chain must stay walkable), applies its operations to a copy
+///   of the base instance, re-sweeps **only** the components whose
+///   region-name set meets a changed name — reusing every other
+///   `Arc<ComponentComplex>` of the base pointer-identically, on the shared
+///   worker pool — and then publishes the fully-built epoch with a
+///   compare-exchange on the head.
+/// * **Conflicts cost a re-assembly, not a rebuild.** If another commit
+///   published first, the loser walks the chain from the new head to its
+///   base to learn which names the intervening epochs changed, keeps every
+///   component neither side invalidated (the new head's for its own
+///   untouched keys, its own attempt's for keys the intervening commits
+///   didn't touch), re-sweeps only the genuinely contested components, and
+///   retries. Two transactions over disjoint components therefore *build
+///   concurrently* and both publish after one compare-exchange each.
+/// * **Reclamation is generation-counted.** A replaced head is retired, not
+///   dropped: the atomic slot (`epoch::swap`) frees it only after both
+///   reader-pin parities have been observed empty at generation flips after
+///   the retirement, so a reader between its pointer load and its refcount
+///   bump can never see a freed epoch. The `prev` chain is pruned down to
+///   the oldest in-flight writer base after every publish, bounding the
+///   list by writer concurrency rather than history.
+///
+/// The pre-chain `RwLock`-cache backend is kept as a **differential
+/// oracle**: construct with
+/// [`TopoDatabase::from_instance_with_epoch_chain`]`(…, false)` or set
+/// `TOPODB_EPOCH_CHAIN=off` in the environment (read once per database
+/// construction). It serves identical epochs, relation matrices and query
+/// rows — the randomized interleaved schedules in
+/// `crates/topodb/tests/epoch_chain.rs` hold the two backends equal — but
+/// readers there serialize behind the cache lock and a commit's re-sweep
+/// lands on the next reader. On the legacy path, lock poisoning is
+/// recovered with [`PoisonError::into_inner`] at each acquisition: while
+/// the write lock is held, the only fallible code runs *before* any state
+/// is mutated (the pure op-application pass) or inserts only complete,
+/// fully-built values (the component build), so a panicking writer can
+/// never leave a torn cache behind.
+///
+/// ## Component reuse and epochs
 ///
 /// The arrangement is built by the partition → per-component sweep →
-/// assemble pipeline of the `arrangement` crate, and the database caches the
-/// per-component sub-complexes (`Arc<ComponentComplex>`) across updates,
-/// keyed by the component's region-name set. Every committed batch that
-/// changes at least one region starts a new *epoch*: it drops the cached
-/// snapshot and eagerly evicts the cached components containing any changed
-/// region, leaving every other component untouched. At the next read the
-/// instance is re-partitioned; components whose geometry now interacts with
-/// a changed region surface as groups with a *new* name-set key (a cache
-/// miss, so they are re-swept — concurrently, see
-/// [`arrangement::parallel`]), while every unaffected group hits its cache
-/// entry and is reused pointer-identically. Entries whose key no longer
-/// occurs in the partition (merged or split by the batch) are pruned after
-/// assembly. A batch of `k` mutations therefore costs *one* eviction pass
-/// and *one* re-assembly, not `k`.
+/// assemble pipeline of the `arrangement` crate
+/// ([`arrangement::build_components_with_reuse`]), and every epoch carries
+/// its per-component sub-complexes (`Arc<ComponentComplex>`) keyed by the
+/// component's region-name set. A committed batch that changes at least one
+/// region starts a new *epoch*; components whose geometry now interacts
+/// with a changed region surface as groups with a *new* name-set key (so
+/// they are re-swept — concurrently, see [`arrangement::parallel`]), while
+/// every unaffected group is reused pointer-identically. A batch of `k`
+/// mutations therefore costs *one* re-sweep of the affected clusters and
+/// *one* global re-assembly, not `k`.
 ///
 /// The global complex is assembled *by view* ([`GlobalComplexView`]): the
-/// cached `Arc<ComponentComplex>`es are composed behind a compact id
+/// epoch's `Arc<ComponentComplex>`es are composed behind a compact id
 /// translation table in `O(components + cross-component nesting)`, with no
-/// per-cell copying. The cost of a commit followed by a read is therefore
-/// `O(affected clusters)` re-sweeping plus an `O(components)` re-assembly —
-/// fully proportional to the affected geometry — instead of a full
+/// per-cell copying. The cost of a commit is therefore `O(affected
+/// clusters)` re-sweeping plus an `O(components)` re-assembly — fully
+/// proportional to the affected geometry — instead of a full
 /// `O((n + k) log n)` re-sweep of the whole map.
 ///
 /// Two counters pin the behavior down: [`TopoDatabase::complex_build_count`]
@@ -145,43 +197,93 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 /// [`TopoDatabase::component_rebuild_count`] is the number of *component
 /// sub-complexes* swept from scratch — the part that incremental maintenance
 /// keeps proportional to the affected geometry rather than the map size.
-#[derive(Default)]
+/// [`TopoDatabase::publish_conflict_count`] counts epoch-chain publish
+/// attempts that lost the head compare-exchange and retried.
 pub struct TopoDatabase {
-    pub(crate) instance: SpatialInstance,
-    /// The derived-structure cache behind a reader-writer lock: *snapshot
-    /// acquisition* itself is callable from any number of threads
-    /// concurrently (`&self`, read lock on the hot path — the database is
-    /// `Sync`), while a cache miss after a commit takes the write lock once
-    /// to rebuild. Writes to the instance still require `&mut self`.
-    cache: RwLock<Cache>,
-    complex_builds: AtomicU64,
-    component_rebuilds: AtomicU64,
-    epoch: AtomicU64,
+    backend: Backend,
+    counters: BuildCounters,
 }
 
-#[derive(Default)]
-struct Cache {
-    /// The snapshot of the current epoch — the primary read representation;
-    /// it owns the zero-copy global view and lazily computes every derived
-    /// structure (relations, queries, invariant).
+enum Backend {
+    /// The default: wait-free readers over the epoch chain.
+    Chain(EpochChain),
+    /// The pre-chain `RwLock`-cache implementation, kept as a differential
+    /// oracle (`TOPODB_EPOCH_CHAIN=off`).
+    Legacy(RwLock<LegacyState>),
+}
+
+/// The legacy backend's entire mutable state under one lock: the instance,
+/// the epoch counter and the derived-structure cache invalidate together.
+struct LegacyState {
+    instance: Arc<SpatialInstance>,
+    epoch: u64,
+    /// The snapshot of the current epoch, if a read has built it.
     snapshot: Option<Snapshot>,
-    /// The flat deep-copied complex, materialized lazily only when a caller
-    /// explicitly asks for it via [`TopoDatabase::cell_complex`].
+    /// The flat deep-copied complex, materialized only via
+    /// [`TopoDatabase::cell_complex`].
     flat: Option<Arc<CellComplex>>,
     /// Component sub-complexes surviving across updates, keyed by the
     /// component's sorted region-name set.
     components: BTreeMap<Vec<String>, Arc<ComponentComplex>>,
 }
 
+/// Should a database constructed without an explicit backend choice use the
+/// epoch chain? `TOPODB_EPOCH_CHAIN=0|off|false|legacy|rwlock`
+/// (case-insensitive) selects the legacy path; anything else — including
+/// unset — the chain.
+fn epoch_chain_enabled_by_env() -> bool {
+    match std::env::var("TOPODB_EPOCH_CHAIN") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !matches!(v.as_str(), "0" | "off" | "false" | "legacy" | "rwlock")
+        }
+        Err(_) => true,
+    }
+}
+
+impl Default for TopoDatabase {
+    fn default() -> Self {
+        TopoDatabase::new()
+    }
+}
+
 impl TopoDatabase {
-    /// An empty database.
+    /// An empty database (backend chosen by `TOPODB_EPOCH_CHAIN`, chain by
+    /// default).
     pub fn new() -> Self {
-        TopoDatabase::default()
+        TopoDatabase::from_instance(SpatialInstance::new())
     }
 
-    /// Build a database from an existing instance.
+    /// Build a database from an existing instance (backend chosen by
+    /// `TOPODB_EPOCH_CHAIN`, chain by default).
     pub fn from_instance(instance: SpatialInstance) -> Self {
-        TopoDatabase { instance, ..TopoDatabase::default() }
+        TopoDatabase::from_instance_with_epoch_chain(instance, epoch_chain_enabled_by_env())
+    }
+
+    /// Build a database from an existing instance with an explicit backend
+    /// choice: `true` for the epoch chain, `false` for the legacy
+    /// `RwLock`-cache oracle. The environment is not consulted — this is
+    /// how the differential tests and benches hold both backends
+    /// side-by-side in one process.
+    pub fn from_instance_with_epoch_chain(instance: SpatialInstance, epoch_chain: bool) -> Self {
+        let backend = if epoch_chain {
+            Backend::Chain(EpochChain::new(Arc::new(instance)))
+        } else {
+            Backend::Legacy(RwLock::new(LegacyState {
+                instance: Arc::new(instance),
+                epoch: 0,
+                snapshot: None,
+                flat: None,
+                components: BTreeMap::new(),
+            }))
+        };
+        TopoDatabase { backend, counters: BuildCounters::default() }
+    }
+
+    /// Is this database running on the epoch chain (`true`) or the legacy
+    /// `RwLock` cache (`false`)?
+    pub fn epoch_chain_enabled(&self) -> bool {
+        matches!(self.backend, Backend::Chain(_))
     }
 
     // ---- write path -----------------------------------------------------
@@ -189,9 +291,24 @@ impl TopoDatabase {
     /// Open a write transaction. Buffer any number of
     /// [`Transaction::insert`] / [`Transaction::remove`] operations, then
     /// [`Transaction::commit`] them as one batch: one epoch bump, one
-    /// eviction of the union of affected components, one parallel re-sweep
-    /// at the next read.
+    /// re-sweep of the union of affected components.
+    ///
+    /// Taking `&mut self` makes this transaction the only writer by
+    /// construction; concurrent writers should use
+    /// [`TopoDatabase::begin_shared`].
     pub fn begin(&mut self) -> Transaction<'_> {
+        Transaction::new(self)
+    }
+
+    /// Open a write transaction from a shared reference, so any number of
+    /// threads can commit concurrently against one `&TopoDatabase`.
+    ///
+    /// On the epoch-chain backend, concurrent commits over disjoint
+    /// components build their epochs concurrently and serialize only at the
+    /// publish compare-exchange; on the legacy backend they serialize on
+    /// the cache write lock. Each commit is atomic either way: readers see
+    /// every epoch fully built.
+    pub fn begin_shared(&self) -> Transaction<'_> {
         Transaction::new(self)
     }
 
@@ -209,141 +326,115 @@ impl TopoDatabase {
     /// Remove a region, returning it if present.
     ///
     /// Removing a name that does not exist is a complete no-op: no epoch
-    /// bump, no component eviction. (Kept for convenience; implemented
-    /// directly rather than through [`TopoDatabase::begin`] only because a
-    /// buffered [`Transaction::remove`] cannot return the removed region —
-    /// the epoch/eviction semantics are identical to a one-operation
-    /// batch.)
+    /// bump, no re-sweep. (`&mut self` guarantees no commit can interleave
+    /// between the lookup and the removal.)
     pub fn remove(&mut self, name: &str) -> Option<Region> {
-        let out = self.instance.remove(name);
-        if out.is_some() {
-            self.invalidate(&[name]);
+        let existing = self.instance().ext(name).cloned();
+        if existing.is_some() {
+            self.commit_ops(vec![Op::Remove(name.to_string())]);
         }
-        out
+        existing
     }
 
-    /// Invalidate the derived structures affected by a committed batch that
-    /// changed `names`: start a new epoch, drop the snapshot, and evict the
-    /// cached components containing any changed name.
-    pub(crate) fn invalidate<S: AsRef<str>>(&mut self, names: &[S]) {
-        self.epoch.fetch_add(1, Ordering::Relaxed);
-        // `&mut self` gives exclusive access: no lock traffic, no poisoning.
-        let cache = self.cache.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
-        cache.snapshot = None;
-        cache.flat = None;
-        cache
-            .components
-            .retain(|key, _| !key.iter().any(|n| names.iter().any(|c| c.as_ref() == n)));
-    }
-
-    /// A read guard on the cache (recovering from poisoning: the cache holds
-    /// only derived data, always rebuildable from the instance).
-    fn cache_read(&self) -> RwLockReadGuard<'_, Cache> {
-        self.cache.read().unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// A write guard on the cache (recovering from poisoning, see
-    /// [`TopoDatabase::cache_read`]).
-    fn cache_write(&self) -> RwLockWriteGuard<'_, Cache> {
-        self.cache.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Commit a batch of buffered operations — the funnel both
+    /// [`Transaction::commit`] and the single-mutation wrappers go through.
+    pub(crate) fn commit_ops(&self, ops: Vec<Op>) -> CommitSummary {
+        match &self.backend {
+            Backend::Chain(chain) => chain.commit(ops, &self.counters),
+            Backend::Legacy(lock) => {
+                let mut st = write(lock);
+                let (next, changed) = epoch::apply_ops(&st.instance, &ops);
+                if changed.is_empty() {
+                    return CommitSummary { epoch: st.epoch, changed };
+                }
+                // Infallible from here on: whole-value overwrites only, so
+                // a poisoned lock can never expose partially-applied state.
+                st.instance = Arc::new(next);
+                st.epoch += 1;
+                st.snapshot = None;
+                st.flat = None;
+                st.components
+                    .retain(|key, _| !key.iter().any(|n| changed.iter().any(|c| c == n)));
+                CommitSummary { epoch: st.epoch, changed }
+            }
+        }
     }
 
     // ---- instance accessors ---------------------------------------------
 
-    /// The underlying spatial instance.
-    pub fn instance(&self) -> &SpatialInstance {
-        &self.instance
+    /// The spatial instance of the current epoch, shared behind an [`Arc`]
+    /// (epochs are immutable; a commit publishes a new instance).
+    pub fn instance(&self) -> Arc<SpatialInstance> {
+        match &self.backend {
+            Backend::Chain(chain) => Arc::clone(&chain.head().instance),
+            Backend::Legacy(lock) => Arc::clone(&read(lock).instance),
+        }
     }
 
     /// Region names in canonical order.
     pub fn names(&self) -> Vec<String> {
-        self.instance.names().into_iter().map(String::from).collect()
+        self.instance().names().into_iter().map(String::from).collect()
     }
 
     /// Number of regions.
     pub fn len(&self) -> usize {
-        self.instance.len()
+        self.instance().len()
     }
 
     /// Is the database empty?
     pub fn is_empty(&self) -> bool {
-        self.instance.is_empty()
+        self.instance().is_empty()
     }
 
     // ---- read path ------------------------------------------------------
 
-    /// Ensure the snapshot of the current epoch is cached: re-partition,
-    /// re-sweep only the components invalidated since the last build
-    /// (concurrently — they share nothing), and assemble the zero-copy
-    /// global view over them.
-    fn ensure_snapshot(&self, cache: &mut Cache) {
-        if cache.snapshot.is_some() {
-            return;
-        }
-        let groups = arrangement::partition_instance(&self.instance);
-        let names = self.instance.names();
-        let keys: Vec<Vec<String>> = groups
-            .iter()
-            .map(|g| g.region_indices.iter().map(|&i| names[i].to_string()).collect())
-            .collect();
-        // Sweep every cache-missing component, in parallel: components are
-        // share-nothing work units, so a cold build (or a burst of misses
-        // after a committed batch) uses all configured threads, while the
-        // common one-miss incremental case takes the serial path.
-        let missing: Vec<usize> =
-            (0..groups.len()).filter(|&i| !cache.components.contains_key(&keys[i])).collect();
-        if !missing.is_empty() {
-            let threads = arrangement::parallel::configured_threads();
-            let instance = &self.instance;
-            // Share the thread budget between the component fan-out and each
-            // component's own strip decomposition (a single big dirty
-            // component gets the whole budget for its strips).
-            let strip_budget = arrangement::strip::strip_budget(missing.len(), threads);
-            let built = arrangement::parallel::map_indexed(missing.len(), threads, |j| {
-                Arc::new(arrangement::assemble::build_group_component_budgeted(
-                    instance,
-                    &groups[missing[j]],
-                    strip_budget,
-                ))
-            });
-            self.component_rebuilds.fetch_add(missing.len() as u64, Ordering::Relaxed);
-            for (j, component) in built.into_iter().enumerate() {
-                cache.components.insert(keys[missing[j]].clone(), component);
-            }
-        }
-        let components: Vec<Arc<ComponentComplex>> =
-            keys.iter().map(|key| Arc::clone(&cache.components[key])).collect();
-        // Prune entries whose component no longer exists (merged or split by
-        // an update since they were built).
-        cache.components.retain(|key, _| keys.contains(key));
-        let global_names: Vec<String> = names.iter().map(|s| s.to_string()).collect();
-        self.complex_builds.fetch_add(1, Ordering::Relaxed);
-        let view = Arc::new(GlobalComplexView::new(global_names, components));
-        cache.snapshot = Some(Snapshot::new(self.epoch.load(Ordering::Relaxed), view));
-    }
-
     /// The immutable [`Snapshot`] of the current epoch — the read half of
     /// the facade.
     ///
-    /// Builds (or reuses) the zero-copy global view, then hands out a clone
-    /// of the cached snapshot: a constant-time `Arc` bump. The snapshot is
-    /// `Send + Sync` and keeps answering for its epoch however many batches
-    /// are committed afterwards; call `snapshot()` again after a commit to
-    /// observe the new epoch.
+    /// On the epoch-chain backend this is **wait-free**: one atomic load of
+    /// the published head plus an `Arc` refcount bump. Published epochs are
+    /// built before they become visible, so no snapshot acquisition ever
+    /// performs (or waits on) a rebuild — only the very first read of a
+    /// database constructed from an un-built instance pays its initial
+    /// build, exactly once. The snapshot is `Send + Sync` and keeps
+    /// answering for its epoch however many batches are committed
+    /// afterwards; call `snapshot()` again after a commit to observe the
+    /// new epoch.
     ///
-    /// Acquisition itself is concurrent: the database is `Sync`, the cache
-    /// sits behind an [`RwLock`], and the warm path takes only a read lock —
-    /// any number of threads can call `snapshot()` (and every other read)
-    /// on a shared `&TopoDatabase` simultaneously. A cold call after a
-    /// commit upgrades to the write lock; whichever caller wins rebuilds
-    /// once and the rest reuse its snapshot.
+    /// On the legacy backend (`TOPODB_EPOCH_CHAIN=off`) acquisition takes
+    /// the cache read lock, and the first acquisition after a commit pays
+    /// the re-sweep under the write lock.
     pub fn snapshot(&self) -> Snapshot {
-        if let Some(snapshot) = &self.cache_read().snapshot {
-            return snapshot.clone();
+        match &self.backend {
+            Backend::Chain(chain) => chain.head().built(&self.counters).snapshot.clone(),
+            Backend::Legacy(lock) => {
+                if let Some(snapshot) = &read(lock).snapshot {
+                    return snapshot.clone();
+                }
+                let mut st = write(lock);
+                self.legacy_ensure(&mut st);
+                st.snapshot.as_ref().expect("snapshot just ensured").clone()
+            }
         }
-        let mut cache = self.cache_write();
-        self.ensure_snapshot(&mut cache);
-        cache.snapshot.as_ref().expect("snapshot just ensured").clone()
+    }
+
+    /// Ensure the legacy cache holds the snapshot of the current epoch:
+    /// re-partition, re-sweep only the components invalidated since the
+    /// last build, assemble the view. Every mutation of `st` is a
+    /// whole-value insertion of a completely built structure, so a panic
+    /// mid-build (with the write lock held) cannot tear the cache.
+    fn legacy_ensure(&self, st: &mut LegacyState) {
+        if st.snapshot.is_some() {
+            return;
+        }
+        let built = {
+            let LegacyState { instance, components, .. } = &*st;
+            epoch::build_epoch(st.epoch, instance, |key| components.get(key).cloned(), &self.counters)
+        };
+        // Replacing the map wholesale also prunes entries whose component
+        // no longer exists (merged or split by an update since last build).
+        st.components = built.components;
+        st.snapshot = Some(built.snapshot);
     }
 
     /// The zero-copy global complex view of the current instance — shared
@@ -354,22 +445,27 @@ impl TopoDatabase {
 
     /// The flat cell complex of the current instance.
     ///
-    /// This materializes (and caches) a deep copy of every cell out of the
-    /// component sub-complexes — `O(total cells)`. Prefer
+    /// This materializes (and caches per epoch) a deep copy of every cell
+    /// out of the component sub-complexes — `O(total cells)`. Prefer
     /// [`TopoDatabase::snapshot`] / [`TopoDatabase::complex_view`] unless a
     /// caller specifically needs the flat [`CellComplex`] representation;
     /// all of this facade's own reads go through the view.
     pub fn cell_complex(&self) -> Arc<CellComplex> {
-        if let Some(flat) = &self.cache_read().flat {
-            return Arc::clone(flat);
+        match &self.backend {
+            Backend::Chain(chain) => chain.head().flat(&self.counters),
+            Backend::Legacy(lock) => {
+                if let Some(flat) = &read(lock).flat {
+                    return Arc::clone(flat);
+                }
+                let mut st = write(lock);
+                self.legacy_ensure(&mut st);
+                if st.flat.is_none() {
+                    let snapshot = st.snapshot.as_ref().expect("snapshot just ensured");
+                    st.flat = Some(Arc::new(snapshot.view_ref().to_cell_complex()));
+                }
+                Arc::clone(st.flat.as_ref().expect("flat complex just computed"))
+            }
         }
-        let mut cache = self.cache_write();
-        self.ensure_snapshot(&mut cache);
-        if cache.flat.is_none() {
-            let snapshot = cache.snapshot.as_ref().expect("snapshot just ensured");
-            cache.flat = Some(Arc::new(snapshot.view_ref().to_cell_complex()));
-        }
-        Arc::clone(cache.flat.as_ref().expect("flat complex just computed"))
     }
 
     /// The topological invariant `T_I` of the current instance, shared
@@ -379,59 +475,82 @@ impl TopoDatabase {
         self.snapshot().invariant()
     }
 
-    /// The cached component sub-complexes backing the current complex, as
-    /// `(region names, component)` pairs in partition order.
+    /// The component sub-complexes backing the current complex, as
+    /// `(region names, component)` pairs in name-set order.
     ///
-    /// Builds the view if needed. The returned [`Arc`]s are clones of the
-    /// cache entries: a component untouched by the updates between two calls
-    /// is returned pointer-identical (`Arc::ptr_eq`), which is the
-    /// observable guarantee of incremental maintenance.
+    /// Builds the current epoch if needed. The returned [`Arc`]s are clones
+    /// of the epoch's entries: a component untouched by the updates between
+    /// two calls is returned pointer-identical (`Arc::ptr_eq`), which is
+    /// the observable guarantee of incremental maintenance.
     pub fn component_complexes(&self) -> Vec<(Vec<String>, Arc<ComponentComplex>)> {
-        {
-            // Warm path: a cached snapshot means the component map is
-            // current too, so a read lock suffices.
-            let cache = self.cache_read();
-            if cache.snapshot.is_some() {
-                return cache.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+        match &self.backend {
+            Backend::Chain(chain) => {
+                let head = chain.head();
+                let built = head.built(&self.counters);
+                built.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+            }
+            Backend::Legacy(lock) => {
+                {
+                    // Warm path: a cached snapshot means the component map
+                    // is current too, so a read lock suffices.
+                    let st = read(lock);
+                    if st.snapshot.is_some() {
+                        return st
+                            .components
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                            .collect();
+                    }
+                }
+                let mut st = write(lock);
+                self.legacy_ensure(&mut st);
+                st.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
             }
         }
-        let mut cache = self.cache_write();
-        self.ensure_snapshot(&mut cache);
-        cache.components.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
     }
 
-    /// How many times this database has built (assembled) its global cell
+    /// How many times this database has built (assembled) a global cell
     /// complex.
     ///
     /// Diagnostic for cache effectiveness: any sequence of reads between two
     /// commits should increase this by at most one, whatever mix of
     /// snapshots, relations, queries or invariant calls it makes — and a
-    /// committed batch of `k` mutations still only adds one.
+    /// committed batch of `k` mutations still only adds one (plus one per
+    /// publish-conflict retry under concurrent commits).
     pub fn complex_build_count(&self) -> u64 {
-        self.complex_builds.load(Ordering::Relaxed)
+        self.counters.complex_builds.load(Ordering::Relaxed)
     }
 
     /// How many component sub-complexes this database has swept from
     /// scratch.
     ///
-    /// Diagnostic for *incremental* cache effectiveness: a commit followed
-    /// by a read re-sweeps only the components whose geometry interacts with
-    /// the changed regions — on a multi-cluster map this stays proportional
-    /// to the batch while [`TopoDatabase::complex_build_count`] grows by
-    /// one, however large the rest of the map is.
+    /// Diagnostic for *incremental* cache effectiveness: a commit re-sweeps
+    /// only the components whose geometry interacts with the changed
+    /// regions — on a multi-cluster map this stays proportional to the
+    /// batch while [`TopoDatabase::complex_build_count`] grows by one,
+    /// however large the rest of the map is.
     pub fn component_rebuild_count(&self) -> u64 {
-        self.component_rebuilds.load(Ordering::Relaxed)
+        self.counters.component_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// How many epoch-chain publish attempts lost the head
+    /// compare-exchange to a concurrent commit and retried (always `0` on
+    /// the legacy backend, and under single-threaded writes).
+    pub fn publish_conflict_count(&self) -> u64 {
+        self.counters.publish_conflicts.load(Ordering::Relaxed)
     }
 
     /// The current update epoch: the number of *effective* committed batches
     /// so far (single-mutation [`TopoDatabase::insert`] / successful
     /// [`TopoDatabase::remove`] calls count as one-operation batches; a
-    /// commit that changes nothing does not advance the epoch). Cached
-    /// derived structures are always consistent with the latest epoch at the
-    /// time they are read; [`Snapshot::epoch`] records which epoch a
+    /// commit that changes nothing does not advance the epoch). Epochs are
+    /// published fully built; [`Snapshot::epoch`] records which epoch a
     /// snapshot belongs to.
     pub fn update_epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        match &self.backend {
+            Backend::Chain(chain) => chain.head().epoch,
+            Backend::Legacy(lock) => read(lock).epoch,
+        }
     }
 
     // ---- thin read wrappers (prefer Snapshot) ---------------------------
@@ -457,7 +576,7 @@ impl TopoDatabase {
     /// Is this database topologically equivalent (homeomorphic) to another?
     /// Decided via invariant isomorphism (Theorem 3.4).
     pub fn homeomorphic_to(&self, other: &TopoDatabase) -> bool {
-        if self.instance.names() != other.instance.names() {
+        if self.names() != other.names() {
             return false;
         }
         invariant::isomorphic(&self.invariant(), &other.invariant())
@@ -512,11 +631,11 @@ impl TopoDatabase {
             .iter()
             .map(|(v, e, f)| format!("{}", v + e + f))
             .collect();
-        let cached = if self.cache_read().flat.is_some() {
-            "view + flat copy"
-        } else {
-            "view"
+        let has_flat = match &self.backend {
+            Backend::Chain(chain) => chain.head().has_flat(),
+            Backend::Legacy(lock) => read(lock).flat.is_some(),
         };
+        let cached = if has_flat { "view + flat copy" } else { "view" };
         format!(
             "{} region(s); invariant: {} vertices, {} edges, {} faces; {} component(s), cells per component: [{}]; cached complex: {}",
             self.len(),
@@ -528,6 +647,20 @@ impl TopoDatabase {
             cached
         )
     }
+}
+
+/// A read guard on the legacy cache, recovering from poisoning — see the
+/// "Concurrency model" notes on [`TopoDatabase`]: all writer-side mutations
+/// are whole-value overwrites sequenced after the fallible work, so a
+/// poisoned lock never holds torn state.
+fn read(lock: &RwLock<LegacyState>) -> RwLockReadGuard<'_, LegacyState> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A write guard on the legacy cache (recovering from poisoning, see
+/// [`read`]).
+fn write(lock: &RwLock<LegacyState>) -> RwLockWriteGuard<'_, LegacyState> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -567,9 +700,10 @@ mod tests {
         assert!(!a.snapshot().homeomorphic_to(&d.snapshot()));
     }
 
-    #[test]
-    fn derived_structures_are_cached_and_shared() {
-        let mut db = TopoDatabase::from_instance(fixtures::fig_1c());
+    /// The caching/sharing contract, on a given backend.
+    fn check_derived_structures_cached(epoch_chain: bool) {
+        let mut db = TopoDatabase::from_instance_with_epoch_chain(fixtures::fig_1c(), epoch_chain);
+        assert_eq!(db.epoch_chain_enabled(), epoch_chain);
         assert_eq!(db.complex_build_count(), 0, "nothing built before first use");
 
         // Any mix of reads performs exactly one construction...
@@ -593,7 +727,8 @@ mod tests {
         let inv3 = snap.invariant();
         assert!(Arc::ptr_eq(&inv1, &inv3), "snapshot shares the database's invariant");
 
-        // Updates invalidate: exactly one rebuild serves the next burst.
+        // Updates invalidate: the commit (chain) or the next read burst
+        // (legacy) performs exactly one rebuild.
         db.insert("C", spatial_core::region::Region::rect_from_ints(20, 20, 24, 24));
         let _ = db.relation_matrix();
         let c3 = db.cell_complex();
@@ -605,6 +740,17 @@ mod tests {
         assert_eq!(c1.region_names().len(), 2);
         assert_eq!(c3.region_names().len(), 3);
         assert_eq!(snap.len(), 2, "pre-update snapshot still answers for its epoch");
+        assert_eq!(db.publish_conflict_count(), 0, "no concurrent writers, no conflicts");
+    }
+
+    #[test]
+    fn derived_structures_are_cached_and_shared() {
+        check_derived_structures_cached(true);
+    }
+
+    #[test]
+    fn derived_structures_are_cached_and_shared_legacy() {
+        check_derived_structures_cached(false);
     }
 
     #[test]

@@ -5,29 +5,34 @@ use crate::TopoDatabase;
 use spatial_core::region::Region;
 
 /// A buffered mutation.
-enum Op {
+pub(crate) enum Op {
+    /// Insert (or replace) a named region.
     Insert(String, Region),
+    /// Remove a named region (a no-op at application time if absent).
     Remove(String),
 }
 
 /// A write transaction on a [`TopoDatabase`], obtained from
-/// [`TopoDatabase::begin`].
+/// [`TopoDatabase::begin`] (exclusive writer) or
+/// [`TopoDatabase::begin_shared`] (any number of concurrent writers over a
+/// shared `&TopoDatabase`).
 ///
-/// Mutations are buffered in order and applied atomically (with respect to
-/// the database's derived structures) by [`Transaction::commit`]: however
-/// many regions the batch inserts, replaces or removes, the database starts
-/// **one** new epoch, evicts the cached components of the *union* of the
-/// changed names once, and the next read performs one re-partition, one
-/// parallel re-sweep of the affected components and one global assembly —
-/// instead of paying an eviction/re-assembly per mutation as a sequence of
-/// bare [`TopoDatabase::insert`] calls would.
+/// Mutations are buffered in order and applied atomically by
+/// [`Transaction::commit`]: however many regions the batch inserts, replaces
+/// or removes, the commit starts **one** new epoch, re-sweeps only the
+/// components of the *union* of the changed names (reusing every untouched
+/// component of its base epoch pointer-identically) and publishes one
+/// fully-built epoch — instead of paying an epoch and a re-sweep per
+/// mutation as a sequence of bare [`TopoDatabase::insert`] calls would. On
+/// the epoch-chain backend the build happens outside any lock, so
+/// concurrent transactions over disjoint components build concurrently;
+/// see the "Concurrency model" notes on [`TopoDatabase`].
 ///
 /// A commit whose operations change nothing (removals of names that do not
 /// exist, replacements of a region by an identical one) is a no-op: no
-/// epoch bump, no eviction. Dropping a
-/// transaction without committing (or calling [`Transaction::rollback`])
-/// discards the buffered operations; the database is untouched, since
-/// nothing is applied before `commit`.
+/// epoch bump, no re-sweep. Dropping a transaction without committing (or
+/// calling [`Transaction::rollback`]) discards the buffered operations; the
+/// database is untouched, since nothing is applied before `commit`.
 ///
 /// Snapshots taken before the commit keep answering for their own epoch;
 /// see [`crate::Snapshot`].
@@ -46,15 +51,16 @@ enum Op {
 /// assert_eq!(commit.changed, ["A", "B"]);
 /// ```
 pub struct Transaction<'db> {
-    db: &'db mut TopoDatabase,
+    db: &'db TopoDatabase,
     ops: Vec<Op>,
 }
 
 /// What a [`Transaction::commit`] did.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CommitSummary {
-    /// The database's update epoch after the commit. Equal to the pre-commit
-    /// epoch when the batch changed nothing, exactly one higher otherwise.
+    /// The database's update epoch after the commit: the epoch this batch
+    /// published, or the base epoch the transaction committed against when
+    /// the batch changed nothing.
     pub epoch: u64,
     /// The names whose region membership or geometry actually changed, in
     /// first-change order (a removal of an absent name does not appear).
@@ -62,7 +68,7 @@ pub struct CommitSummary {
 }
 
 impl<'db> Transaction<'db> {
-    pub(crate) fn new(db: &'db mut TopoDatabase) -> Transaction<'db> {
+    pub(crate) fn new(db: &'db TopoDatabase) -> Transaction<'db> {
         Transaction { db, ops: Vec::new() }
     }
 
@@ -84,35 +90,11 @@ impl<'db> Transaction<'db> {
         self.ops.len()
     }
 
-    /// Apply the buffered operations in order and start at most one new
+    /// Apply the buffered operations in order and publish at most one new
     /// epoch (none if nothing changed). Returns the resulting epoch and the
     /// changed names.
     pub fn commit(self) -> CommitSummary {
-        let mut changed: Vec<String> = Vec::new();
-        for op in self.ops {
-            match op {
-                Op::Insert(name, region) => {
-                    let replaced = self.db.instance.insert(name.clone(), region);
-                    // Replacing a region with an identical one changes
-                    // nothing (compare against the stored geometry; `insert`
-                    // consumed the new one).
-                    let unchanged = replaced.is_some()
-                        && self.db.instance.ext(&name) == replaced.as_ref();
-                    if !unchanged && !changed.contains(&name) {
-                        changed.push(name);
-                    }
-                }
-                Op::Remove(name) => {
-                    if self.db.instance.remove(&name).is_some() && !changed.contains(&name) {
-                        changed.push(name);
-                    }
-                }
-            }
-        }
-        if !changed.is_empty() {
-            self.db.invalidate(&changed);
-        }
-        CommitSummary { epoch: self.db.update_epoch(), changed }
+        self.db.commit_ops(self.ops)
     }
 
     /// Discard the buffered operations without touching the database.

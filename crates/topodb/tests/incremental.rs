@@ -31,7 +31,7 @@ fn label_multisets(db: &TopoDatabase) -> (Vec<Label>, Vec<Label>, Vec<Label>) {
 }
 
 fn assert_equals_fresh_rebuild(db: &TopoDatabase, context: &str) {
-    let fresh = TopoDatabase::from_instance(db.instance().clone());
+    let fresh = TopoDatabase::from_instance((*db.instance()).clone());
     let (c, fc) = (db.cell_complex(), fresh.cell_complex());
     assert_eq!(c.vertex_count(), fc.vertex_count(), "vertex count diverged {context}");
     assert_eq!(c.edge_count(), fc.edge_count(), "edge count diverged {context}");

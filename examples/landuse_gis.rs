@@ -66,7 +66,7 @@ fn main() {
     let corridor = "exists r . subset(r, FloodZone) and disjoint(r, Wetland)";
     let formula = topodb::query::parse(corridor).unwrap();
     let answer =
-        topodb::query::rect_eval::eval_on_rect_instance(db.instance(), &formula).unwrap();
+        topodb::query::rect_eval::eval_on_rect_instance(&db.instance(), &formula).unwrap();
     println!("dry corridor inside flood zone: {answer:?}");
 }
 

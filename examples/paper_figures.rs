@@ -27,12 +27,12 @@ fn main() {
 
     println!(
         "1a ~4int~ 1b: {}   homeomorphic: {}",
-        four_intersection_equivalent(fig1a.instance(), fig1b.instance()),
+        four_intersection_equivalent(&fig1a.instance(), &fig1b.instance()),
         fig1a.homeomorphic_to(&fig1b)
     );
     println!(
         "1c ~4int~ 1d: {}   homeomorphic: {}",
-        four_intersection_equivalent(fig1c.instance(), fig1d.instance()),
+        four_intersection_equivalent(&fig1c.instance(), &fig1d.instance()),
         fig1c.snapshot().homeomorphic_to(&fig1d.snapshot())
     );
     // The separating queries are compiled once and evaluated against the

@@ -9,11 +9,24 @@
 # that falls behind shows the backlog as queueing delay instead of
 # silently throttling the offered load.
 #
-# Usage: scripts/traffic_load.sh [clients [rate [ops]]]
+# Usage: scripts/traffic_load.sh [clients [rate [ops [mix [map]]]]]
 #
 #   clients  concurrent client threads      (default: min(cores, 8), >= 2)
 #   rate     ops/second offered per client  (default: 200)
 #   ops      operations issued per client   (default: 400)
+#   mix      workload shape                 (read-heavy | txn-heavy;
+#                                            default: read-heavy, 60/30/10
+#                                            read/query/txn; txn-heavy is
+#                                            30/30/40 — the commit pipeline
+#                                            under pressure)
+#   map      base map                       (small | clustered4096;
+#                                            default: small, 8 clusters x 4
+#                                            regions; clustered4096 is 64
+#                                            clusters x 64 regions = 4096
+#                                            base regions)
+#
+# The backend follows TOPODB_EPOCH_CHAIN (chain by default; set `off` to
+# drive the legacy RwLock cache for comparison).
 #
 # The machine-readable {id, value} records land in the file named by
 # $BENCH_JSON if set (default: a temp file, printed at exit). To fold a
@@ -34,6 +47,8 @@ env_args=()
 [ "$#" -ge 1 ] && env_args+=("TRAFFIC_CLIENTS=$1")
 [ "$#" -ge 2 ] && env_args+=("TRAFFIC_RATE=$2")
 [ "$#" -ge 3 ] && env_args+=("TRAFFIC_OPS=$3")
+[ "$#" -ge 4 ] && env_args+=("TRAFFIC_MIX=$4")
+[ "$#" -ge 5 ] && env_args+=("TRAFFIC_MAP=$5")
 
 env "${env_args[@]+"${env_args[@]}"}" BENCH_JSON="${abs_out}" \
     cargo bench -p bench --bench traffic
