@@ -46,23 +46,32 @@
 //! base regions, the scale where per-commit re-sweep locality and
 //! wait-free reads actually matter).
 //!
+//! `TRAFFIC_WAL=on` runs the same workload against a *durable* database
+//! (a throwaway log directory under the temp dir, deleted afterwards), so
+//! the transaction-class percentiles include the write-ahead-log append —
+//! the txn p99 with durability is the number that matters for sizing a
+//! real deployment. `TRAFFIC_SYNC` picks the policy: `percommit` (default,
+//! an fsync inside every commit) or `interval` (group commit, at most one
+//! fsync per 5 ms window).
+//!
 //! Knobs: `TRAFFIC_CLIENTS` (threads), `TRAFFIC_RATE` (ops/s per client),
-//! `TRAFFIC_OPS` (ops per client), `TRAFFIC_MIX`, `TRAFFIC_MAP`. `--test`
-//! smoke mode shrinks the volume knobs so CI merely exercises every path
-//! once per class.
+//! `TRAFFIC_OPS` (ops per client), `TRAFFIC_MIX`, `TRAFFIC_MAP`,
+//! `TRAFFIC_WAL`, `TRAFFIC_SYNC`. `--test` smoke mode shrinks the volume
+//! knobs so CI merely exercises every path once per class.
 //!
 //! Recorded metrics (`{id, value}` records in `BENCH_JSON`, merged into
 //! `BENCH_arrangement.json` by `scripts/bench_snapshot.sh`):
 //! `traffic/<class>/p50_ns`, `traffic/<class>/p99_ns` and
 //! `traffic/<class>/ops` for each class in `mixed`/`read`/`query`/`txn`,
-//! plus `traffic/offered_ops_per_s` and `traffic/achieved_ops_per_s`.
+//! plus `traffic/offered_ops_per_s`, `traffic/achieved_ops_per_s` and
+//! `traffic/durable` (1 when the run went through a write-ahead log).
 
 use criterion::{criterion_group, criterion_main, record_metric, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 use topodb::query::PreparedQuery;
-use topodb::TopoDatabase;
+use topodb::{SyncPolicy, TopoDatabase, WalConfig};
 
 /// Operation classes, indexed by the discriminant stored per sample.
 const READ: usize = 0;
@@ -88,6 +97,33 @@ fn map_shape() -> (usize, usize, &'static str) {
     match std::env::var("TRAFFIC_MAP").unwrap_or_default().trim().to_ascii_lowercase().as_str() {
         "clustered4096" | "large" | "4096" => (64, 64, "clustered4096"),
         _ => (8, 4, "small"),
+    }
+}
+
+/// Should the run commit through a write-ahead log? `TRAFFIC_WAL=on` (or
+/// `1`/`true`/`yes`) says yes.
+fn wal_enabled() -> bool {
+    matches!(
+        std::env::var("TRAFFIC_WAL").unwrap_or_default().trim().to_ascii_lowercase().as_str(),
+        "1" | "on" | "true" | "yes"
+    )
+}
+
+/// Sync policy for a `TRAFFIC_WAL=on` run: `percommit` (default) or
+/// `interval` (group commit, 5 ms window).
+fn wal_sync() -> (SyncPolicy, &'static str) {
+    match std::env::var("TRAFFIC_SYNC").unwrap_or_default().trim().to_ascii_lowercase().as_str() {
+        "interval" | "group" => (SyncPolicy::Interval(Duration::from_millis(5)), "interval"),
+        _ => (SyncPolicy::PerCommit, "percommit"),
+    }
+}
+
+/// The throwaway log directory of a `TRAFFIC_WAL=on` run, deleted on drop.
+struct LogDir(std::path::PathBuf);
+
+impl Drop for LogDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
     }
 }
 
@@ -170,7 +206,20 @@ fn traffic(_c: &mut Criterion) {
     let (clusters, per_cluster, map_label) = map_shape();
     let period = Duration::from_secs(1).div_f64(rate as f64);
 
-    let db = TopoDatabase::from_instance(datagen::clustered_map(clusters, per_cluster, 4242));
+    let map = datagen::clustered_map(clusters, per_cluster, 4242);
+    let (sync, sync_label) = wal_sync();
+    let mut _log_dir = None;
+    let db = if wal_enabled() {
+        let dir = std::env::temp_dir().join(format!("traffic-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = WalConfig::default().with_sync(sync);
+        let db = TopoDatabase::create_with_config(&dir, map, cfg)
+            .expect("create durable traffic database");
+        _log_dir = Some(LogDir(dir));
+        db
+    } else {
+        TopoDatabase::from_instance(map)
+    };
     let names: Vec<String> = db.names();
     // Warm the initial snapshot outside the measured window so the first
     // scheduled read does not pay the cold build.
@@ -184,9 +233,10 @@ fn traffic(_c: &mut Criterion) {
 
     eprintln!(
         "traffic: {clients} clients x {ops} ops at {rate} ops/s each \
-         (offered {} ops/s total, {mix_label} mix, {map_label} map, {} backend{})",
+         (offered {} ops/s total, {mix_label} mix, {map_label} map, {} backend, {}{})",
         clients * rate,
         if db.epoch_chain_enabled() { "epoch-chain" } else { "legacy rwlock" },
+        if db.durable() { format!("wal {sync_label}") } else { "no wal".to_string() },
         if smoke { ", smoke mode" } else { "" }
     );
 
@@ -218,6 +268,7 @@ fn traffic(_c: &mut Criterion) {
     let achieved = mixed.len() as f64 / wall.as_secs_f64();
     record_metric("traffic/offered_ops_per_s", (clients * rate) as f64);
     record_metric("traffic/achieved_ops_per_s", achieved);
+    record_metric("traffic/durable", if db.durable() { 1.0 } else { 0.0 });
     record_metric("traffic/mixed/ops", mixed.len() as f64);
     record_metric("traffic/mixed/p50_ns", percentile(&mixed, 0.50) as f64);
     record_metric("traffic/mixed/p99_ns", percentile(&mixed, 0.99) as f64);

@@ -1,0 +1,173 @@
+//! The cost of durability: commit latency with the write-ahead log in the
+//! loop, per sync policy, against the in-memory baseline.
+//!
+//! One effective commit (alternating insert/remove of a single region in a
+//! 256-region clustered map) is timed per sample on four databases that
+//! differ only in where the log sits:
+//!
+//! * `wal_commit/inmem/{p50,p99}_ns` — no log attached
+//!   ([`TopoDatabase::from_instance`]): the pure epoch-chain commit
+//!   (out-of-lock build + publish), the baseline the log's overhead is
+//!   measured against. Run this bench without `TOPODB_WAL` set, or the
+//!   baseline silently grows an env-attached log of its own.
+//! * `wal_commit/percommit/...` — [`SyncPolicy::PerCommit`]: append +
+//!   fsync inside every commit, the full durability guarantee. This is
+//!   the policy `scripts/bench_snapshot.sh` gates: its p50 must stay
+//!   within 20x of the in-memory commit p50.
+//! * `wal_commit/interval/...` — [`SyncPolicy::Interval`] (5 ms): the
+//!   group-commit compromise — every record is written, at most one
+//!   fsync per window — expected to recover most of the per-commit
+//!   fsync cost.
+//! * `wal_commit/none/...` — [`SyncPolicy::None`]: append without any
+//!   fsync, isolating the serialization + page-cache-write cost from the
+//!   disk-flush cost.
+//!
+//! `--test` smoke mode also runs a crash-recovery smoke: create a durable
+//! database, commit a `datagen::op_trace` workload, "crash" (leak the
+//! database mid-flight), reopen, and verify the recovered instance is
+//! byte-identical to an in-memory oracle — the end-to-end
+//! log-before-publish → replay loop exercised once per CI run from the
+//! bench harness too, not just from the differential suite.
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use topodb::spatial_core::instance::SpatialInstance;
+use topodb::spatial_core::prelude::*;
+use topodb::spatial_core::wire::Wire;
+use topodb::{SyncPolicy, TopoDatabase, WalConfig};
+
+const CLUSTERS: usize = 16;
+const PER_CLUSTER: usize = 16; // 256 base regions
+
+/// Nearest-rank percentile over an already-sorted sample vector.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A throwaway log directory, deleted on drop.
+struct LogDir(PathBuf);
+
+impl LogDir {
+    fn new(tag: &str) -> LogDir {
+        let dir = std::env::temp_dir().join(format!("wal-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        LogDir(dir)
+    }
+}
+
+impl Drop for LogDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Time `samples` effective commits on `db`, returning sorted latencies.
+fn commit_latencies(db: &TopoDatabase, samples: usize) -> Vec<u64> {
+    let mut latencies = Vec::with_capacity(samples);
+    let mut present = false;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let mut txn = db.begin_shared();
+        if present {
+            txn.remove("Churn");
+        } else {
+            txn.insert("Churn", Region::rect_from_ints(2, 2, 10, 10));
+        }
+        present = !present;
+        txn.commit();
+        latencies.push(t0.elapsed().as_nanos() as u64);
+    }
+    latencies.sort_unstable();
+    latencies
+}
+
+fn wal_commit(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let samples = if smoke { 20 } else { 400 };
+    let base = datagen::clustered_map(CLUSTERS, PER_CLUSTER, 0xD0);
+
+    let variants: [(&str, Option<SyncPolicy>); 4] = [
+        ("inmem", None),
+        ("percommit", Some(SyncPolicy::PerCommit)),
+        ("interval", Some(SyncPolicy::Interval(Duration::from_millis(5)))),
+        ("none", Some(SyncPolicy::None)),
+    ];
+    for (label, sync) in variants {
+        let guard; // keeps the log directory alive across the sample loop
+        let db = match sync {
+            None => TopoDatabase::from_instance(base.clone()),
+            Some(sync) => {
+                guard = LogDir::new(label);
+                // A high checkpoint cadence keeps snapshot writes out of
+                // the measured window: this benchmark isolates the
+                // append + sync cost.
+                let cfg = WalConfig::default().with_sync(sync).with_checkpoint_every(1 << 20);
+                TopoDatabase::create_with_config(&guard.0, base.clone(), cfg)
+                    .expect("create durable bench database")
+            }
+        };
+        db.snapshot(); // warm the first build outside the samples
+        let latencies = commit_latencies(&db, samples);
+        let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+        record_metric(format!("wal_commit/{label}/p50_ns"), p50 as f64);
+        record_metric(format!("wal_commit/{label}/p99_ns"), p99 as f64);
+        eprintln!(
+            "wal_commit/{label}: {samples} commits over {} regions (p50 {p50} ns, p99 {p99} ns)",
+            base.len()
+        );
+    }
+    println!("test wal_commit ... ok");
+}
+
+fn recovery_smoke(_c: &mut Criterion) {
+    let trace = datagen::op_trace(8, 0x5E);
+    let guard = LogDir::new("recovery-smoke");
+
+    let mut oracle = TopoDatabase::new();
+    let mut db = TopoDatabase::create(&guard.0, SpatialInstance::new())
+        .expect("create durable smoke database");
+    for batch in &trace {
+        for target in [&mut db, &mut oracle] {
+            let mut txn = target.begin();
+            for op in batch {
+                match op {
+                    datagen::TraceOp::Insert(name, region) => {
+                        txn.insert(name.clone(), region.clone());
+                    }
+                    datagen::TraceOp::Remove(name) => {
+                        txn.remove(name.clone());
+                    }
+                }
+            }
+            txn.commit();
+        }
+    }
+    // "Crash": leak the database so nothing tidies up on the way out.
+    std::mem::forget(db);
+
+    let recovered = TopoDatabase::open(&guard.0).expect("reopen after crash");
+    assert_eq!(recovered.update_epoch(), trace.len() as u64, "epoch numbering resumes");
+    assert_eq!(
+        recovered.instance().to_wire_vec(),
+        oracle.instance().to_wire_vec(),
+        "recovered instance is byte-identical to the oracle"
+    );
+    assert_eq!(
+        recovered.relation_matrix(),
+        oracle.relation_matrix(),
+        "recovered topology matches the oracle"
+    );
+    println!("test wal_recovery_smoke ... ok");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = wal_commit, recovery_smoke
+}
+criterion_main!(benches);

@@ -389,6 +389,67 @@ pub fn dense_scaling_sweep(sizes: &[usize]) -> Vec<(usize, SpatialInstance)> {
         .collect()
 }
 
+/// One operation of an [`op_trace`] batch: insert (or replace) a named
+/// region, or remove one.
+///
+/// Mirrors the facade's transaction ops without depending on it, so the
+/// trace generator can be shared by the recovery differential suite and the
+/// WAL benchmarks (both fold a trace into `TopoDatabase` batches) as well as
+/// by oracle replays over a bare `SpatialInstance`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceOp {
+    /// Insert the region under the name, replacing any existing binding.
+    Insert(String, Region),
+    /// Remove the name (always targets a name live at that point in the
+    /// trace).
+    Remove(String),
+}
+
+/// A deterministic randomized commit trace: `steps` batches of 1–4
+/// [`TraceOp`]s over the [`clustered_map`] geometry (fresh [`cluster_rect`]
+/// rectangles across 4 clusters), mixing inserts of new names, replacements
+/// of live names, and removals of live names.
+///
+/// The generator tracks the live-name set, so every `Remove` (and roughly a
+/// third of the `Insert`s, as replacements) targets a name that exists at
+/// that point in the trace; replaying the batches in order over an empty
+/// instance is therefore always well-formed. Identical `(steps, seed)`
+/// arguments yield byte-identical traces — the recovery differential suite
+/// relies on this to crash-and-reopen the same workload many times, and the
+/// `wal_commit` benchmark to log a stable op mix.
+pub fn op_trace(steps: usize, seed: u64) -> Vec<Vec<TraceOp>> {
+    const CLUSTERS: usize = 4;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<String> = Vec::new();
+    let mut next_id: usize = 0;
+    let mut trace = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let batch_len = rng.gen_range(1..=4);
+        let mut batch = Vec::with_capacity(batch_len);
+        for _ in 0..batch_len {
+            let c = rng.gen_range(0..CLUSTERS);
+            let region = cluster_rect(&mut rng, c, CLUSTERS);
+            // Keep the live set growing on balance: remove ~1 in 4, replace
+            // ~1 in 4, insert fresh otherwise.
+            let roll = rng.gen_range(0..4u32);
+            if roll == 0 && live.len() > 2 {
+                let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                batch.push(TraceOp::Remove(victim));
+            } else if roll == 1 && !live.is_empty() {
+                let target = live[rng.gen_range(0..live.len())].clone();
+                batch.push(TraceOp::Insert(target, region));
+            } else {
+                let name = format!("W{next_id:05}");
+                next_id += 1;
+                live.push(name.clone());
+                batch.push(TraceOp::Insert(name, region));
+            }
+        }
+        trace.push(batch);
+    }
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,5 +638,38 @@ mod tests {
         for (n, inst) in dense_scaling_sweep(&[4, 9]) {
             assert_eq!(inst.len(), n);
         }
+    }
+
+    #[test]
+    fn op_trace_is_deterministic_and_well_formed() {
+        let a = op_trace(40, 7);
+        let b = op_trace(40, 7);
+        assert_eq!(a, b, "same (steps, seed) yields the identical trace");
+        assert_ne!(a, op_trace(40, 8), "the seed matters");
+        assert_eq!(a.len(), 40);
+
+        // Replaying over a live-name oracle: every Remove (and every
+        // replacement Insert) targets a name that exists at that point.
+        let mut live = std::collections::BTreeSet::new();
+        let (mut removes, mut replaces) = (0usize, 0usize);
+        for batch in &a {
+            assert!((1..=4).contains(&batch.len()));
+            for op in batch {
+                match op {
+                    TraceOp::Insert(name, _) => {
+                        if !live.insert(name.clone()) {
+                            replaces += 1;
+                        }
+                    }
+                    TraceOp::Remove(name) => {
+                        assert!(live.remove(name), "remove of dead name {name}");
+                        removes += 1;
+                    }
+                }
+            }
+        }
+        assert!(!live.is_empty(), "the live set grows on balance");
+        assert!(removes > 0, "the mix includes removals");
+        assert!(replaces > 0, "the mix includes replacements");
     }
 }

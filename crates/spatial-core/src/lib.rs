@@ -47,6 +47,7 @@ pub mod rational;
 pub mod region;
 pub mod segment;
 pub mod transform;
+pub mod wire;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

@@ -1,0 +1,169 @@
+//! The facade's side of the durability protocol: attaching a write-ahead
+//! log to a database, logging each commit *before* its publish, and
+//! replaying a log back into an instance.
+//!
+//! The ordering protocol lives here and in `epoch.rs` (stage 3 of the
+//! commit pipeline); the on-disk format, checkpoints and torn-tail
+//! recovery live in the `wal` crate. See the "Durability model" section of
+//! the crate docs for the full argument.
+
+use crate::error::TopoDbError;
+use crate::transaction::Op;
+use spatial_core::instance::SpatialInstance;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use wal::{BatchRecord, SyncPolicy, Wal, WalError, WalOp};
+
+/// A database's attachment to its write-ahead log.
+///
+/// `publish_lock` serializes commit *publishes* (WAL append + head
+/// compare-exchange) — not builds, which stay concurrent. Holding it while
+/// checking that the head is still the commit's base makes the subsequent
+/// compare-exchange infallible, which is what guarantees a batch is logged
+/// exactly once, on the attempt that wins: a stale head is detected
+/// *before* anything is appended, and the losing attempt rebuilds and
+/// retries without having logged a byte.
+pub(crate) struct Durability {
+    // Field order matters: the `Wal` flushes on drop, and must do so
+    // before an ephemeral guard (if any) deletes the directory.
+    wal: Wal,
+    pub(crate) publish_lock: Mutex<()>,
+    _ephemeral: Option<EphemeralDir>,
+}
+
+/// Deletes an environment-attached throwaway log directory on drop.
+struct EphemeralDir(PathBuf);
+
+impl Drop for EphemeralDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+impl Durability {
+    pub(crate) fn new(wal: Wal) -> Durability {
+        Durability { wal, publish_lock: Mutex::new(()), _ephemeral: None }
+    }
+
+    /// Append one committed batch. Called with the publish serialized (the
+    /// epoch chain holds `publish_lock`; the legacy backend holds its cache
+    /// write lock), so records arrive in exactly publish order.
+    ///
+    /// Durability failures panic: `commit()` promises an epoch number, and
+    /// continuing to accept writes a crash would silently lose is worse
+    /// than stopping. See "Durability model" in the crate docs.
+    pub(crate) fn log_batch(
+        &self,
+        epoch: u64,
+        ops: &[Op],
+        changed: &[String],
+        instance_after: &SpatialInstance,
+    ) {
+        let record = BatchRecord {
+            epoch,
+            ops: ops
+                .iter()
+                .map(|op| match op {
+                    Op::Insert(name, region) => WalOp::Insert(name.clone(), region.clone()),
+                    Op::Remove(name) => WalOp::Remove(name.clone()),
+                })
+                .collect(),
+            changed: changed.to_vec(),
+        };
+        if let Err(e) = self.wal.append_batch(&record, instance_after) {
+            panic!("write-ahead log append failed; refusing to commit undurable epochs: {e}");
+        }
+    }
+
+    /// The underlying log (benches force checkpoints/syncs through this).
+    pub(crate) fn wal(&self) -> &Wal {
+        &self.wal
+    }
+}
+
+/// Replay a recovered record sequence over the checkpoint instance using
+/// the same `apply_ops` the live commit path uses, cross-checking each
+/// record's logged changed set against the replayed one. Returns the
+/// instance at the final replayed record (or the checkpoint itself if no
+/// records are given).
+pub(crate) fn replay(
+    base: &SpatialInstance,
+    records: &[BatchRecord],
+) -> Result<SpatialInstance, TopoDbError> {
+    let mut instance = base.clone();
+    for record in records {
+        let ops: Vec<Op> = record
+            .ops
+            .iter()
+            .map(|op| match op {
+                WalOp::Insert(name, region) => Op::Insert(name.clone(), region.clone()),
+                WalOp::Remove(name) => Op::Remove(name.clone()),
+            })
+            .collect();
+        let (next, changed) = crate::epoch::apply_ops(&instance, &ops);
+        if changed != record.changed {
+            return Err(TopoDbError::Durability(WalError::Corrupt {
+                segment: format!("record for epoch {}", record.epoch),
+                offset: 0,
+                detail: format!(
+                    "replay changed {:?} but the log recorded {:?}",
+                    changed, record.changed
+                ),
+            }));
+        }
+        instance = next;
+    }
+    Ok(instance)
+}
+
+// ---- environment-attached ephemeral logs ---------------------------------
+
+/// Should databases constructed without an explicit path attach a
+/// throwaway, temp-dir-backed log? `TOPODB_WAL=1|on|true|yes`
+/// (case-insensitive) says yes — this is how CI runs the entire suite with
+/// durability in the loop.
+pub(crate) fn wal_enabled_by_env() -> bool {
+    match std::env::var("TOPODB_WAL") {
+        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "on" | "true" | "yes"),
+        Err(_) => false,
+    }
+}
+
+/// Sync policy for environment-attached logs: `TOPODB_WAL_SYNC=
+/// percommit|interval|none`. Defaults to `none` — the env attach exists to
+/// exercise the logging/replay *protocol* across the whole suite, and
+/// thousands of fsyncs would dominate its runtime. `percommit` is the
+/// default for real [`crate::TopoDatabase::create`] databases.
+pub(crate) fn wal_sync_by_env() -> SyncPolicy {
+    match std::env::var("TOPODB_WAL_SYNC") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "percommit" | "per-commit" | "always" => SyncPolicy::PerCommit,
+            "interval" | "group" => SyncPolicy::Interval(std::time::Duration::from_millis(5)),
+            _ => SyncPolicy::None,
+        },
+        Err(_) => SyncPolicy::None,
+    }
+}
+
+/// Create the throwaway env-attached log for `instance`, or `None` if
+/// creation fails (the env attach is best-effort test plumbing — a
+/// read-only temp filesystem should not take the whole suite down with
+/// it).
+pub(crate) fn ephemeral(instance: &SpatialInstance) -> Option<Durability> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "topodb-wal-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let cfg = wal::WalConfig::default().with_sync(wal_sync_by_env());
+    match Wal::create(&dir, 0, instance, cfg) {
+        Ok(w) => Some(Durability {
+            wal: w,
+            publish_lock: Mutex::new(()),
+            _ephemeral: Some(EphemeralDir(dir)),
+        }),
+        Err(_) => None,
+    }
+}

@@ -230,9 +230,12 @@ fn deregister(writers: &mut BTreeMap<u64, usize>, epoch: u64) {
 }
 
 impl EpochChain {
-    pub fn new(instance: Arc<SpatialInstance>) -> Self {
+    /// A chain rooted at an arbitrary epoch number — recovery reopens a
+    /// database at the epoch its log replayed to, and commits continue the
+    /// numbering from there (so re-logged epochs line up with the log).
+    pub fn new_at(instance: Arc<SpatialInstance>, epoch: u64) -> Self {
         let root = EpochState {
-            epoch: 0,
+            epoch,
             instance,
             changed: BTreeSet::new(),
             built: OnceLock::new(),
@@ -250,7 +253,23 @@ impl EpochChain {
     /// Commit a batch: the three-stage pipeline described in the module
     /// docs. Returns the epoch the batch published (or the base epoch, if
     /// the batch changed nothing).
-    pub fn commit(&self, ops: Vec<Op>, counters: &BuildCounters) -> CommitSummary {
+    ///
+    /// With `durability` attached, stage 3 runs the **log-before-publish**
+    /// protocol: the publish serializes on the WAL publish lock, re-checks
+    /// that the head is still this attempt's base, appends the batch to
+    /// the log, and only then swaps the head. The head check under the
+    /// lock makes the compare-exchange infallible for the attempt that
+    /// logged, so a batch is appended exactly once — on its winning
+    /// attempt — and a record hits the log strictly before the epoch it
+    /// describes becomes visible to readers. A stale head is discovered
+    /// *before* the append, so losing attempts log nothing and take the
+    /// ordinary conflict path.
+    pub fn commit(
+        &self,
+        ops: Vec<Op>,
+        counters: &BuildCounters,
+        durability: Option<&crate::durability::Durability>,
+    ) -> CommitSummary {
         // Stage 1 — write intent: adopt the head as base and register it,
         // both under the writers mutex, so the chain stays walkable down to
         // this base however many commits land first.
@@ -298,13 +317,33 @@ impl EpochChain {
                 flat: OnceLock::new(),
                 prev: Mutex::new(Some(Arc::clone(&current_base))),
             });
-            match self.head.compare_exchange(&current_base, Arc::clone(&next)) {
-                Ok(()) => {
+            let published = match durability {
+                None => self.head.compare_exchange(&current_base, Arc::clone(&next)).is_ok(),
+                Some(d) => {
+                    // Log-before-publish: serialize publishes, verify the
+                    // head is still our base, append, then swap. The swap
+                    // cannot fail — every publisher of this database holds
+                    // the same lock — so the record and the epoch commit
+                    // or skip together.
+                    let _publishing = lock(&d.publish_lock);
+                    if Arc::ptr_eq(&self.head.load(), &current_base) {
+                        d.log_batch(next.epoch, &ops, &changed, &next_instance);
+                        self.head
+                            .compare_exchange(&current_base, Arc::clone(&next))
+                            .expect("head swap serialized under the WAL publish lock");
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            match published {
+                true => {
                     drop(intent);
                     self.prune(&next);
                     return CommitSummary { epoch: next.epoch, changed };
                 }
-                Err(()) => {
+                false => {
                     counters.publish_conflicts.fetch_add(1, Ordering::Relaxed);
                     // `next` was never published: recover this attempt's
                     // build before `next` is dropped.

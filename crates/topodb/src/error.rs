@@ -18,6 +18,11 @@ pub enum TopoDbError {
     },
     /// Query evaluation failed.
     Eval(String),
+    /// The durability layer failed: opening, recovering, checkpointing or
+    /// validating a write-ahead log. (A failed *append* on a live commit
+    /// panics instead — see the "Durability model" notes on
+    /// [`crate::TopoDatabase`].)
+    Durability(wal::WalError),
 }
 
 impl TopoDbError {
@@ -43,11 +48,18 @@ impl fmt::Display for TopoDbError {
                 }
             }
             TopoDbError::Eval(m) => write!(f, "query evaluation error: {m}"),
+            TopoDbError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
 
 impl std::error::Error for TopoDbError {}
+
+impl From<wal::WalError> for TopoDbError {
+    fn from(e: wal::WalError) -> TopoDbError {
+        TopoDbError::Durability(e)
+    }
+}
 
 impl From<query::ParseError> for TopoDbError {
     fn from(e: query::ParseError) -> TopoDbError {

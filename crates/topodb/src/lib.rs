@@ -72,7 +72,9 @@ pub use query;
 pub use relations;
 pub use relstore;
 pub use spatial_core;
+pub use wal;
 
+mod durability;
 mod epoch;
 mod error;
 mod snapshot;
@@ -82,14 +84,17 @@ pub use error::TopoDbError;
 pub use query::{PreparedQuery, QueryOutput};
 pub use snapshot::Snapshot;
 pub use transaction::{CommitSummary, Transaction};
+pub use wal::{SyncPolicy, WalConfig};
 
 use arrangement::{CellComplex, ComponentComplex, GlobalComplexView};
+use durability::Durability;
 use epoch::{BuildCounters, EpochChain};
 use invariant::Invariant;
 use relations::Relation4;
 use spatial_core::instance::SpatialInstance;
 use spatial_core::region::Region;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use transaction::Op;
@@ -199,9 +204,61 @@ use transaction::Op;
 /// keeps proportional to the affected geometry rather than the map size.
 /// [`TopoDatabase::publish_conflict_count`] counts epoch-chain publish
 /// attempts that lost the head compare-exchange and retried.
+///
+/// ## Durability model
+///
+/// A database is in-memory by default; [`TopoDatabase::create`] and
+/// [`TopoDatabase::open`] attach a **write-ahead log** (the `wal` crate)
+/// rooted at a directory, after which every committed batch is persisted
+/// as one checksummed record — epoch number, the insert/remove ops with
+/// exact rational coordinates, the changed-name set — and the database
+/// survives a crash.
+///
+/// * **Log-before-publish ordering.** On the epoch chain, a durable
+///   commit's stage 3 serializes on the log's publish lock: it re-checks
+///   that the head is still the attempt's base, appends the record, and
+///   only then swaps the head. The check-under-lock makes the swap
+///   infallible for the attempt that logged, so (a) a record reaches the
+///   log strictly *before* the epoch it describes becomes visible to any
+///   reader — a crash can lose an epoch nobody saw, never expose an epoch
+///   nobody logged — and (b) a conflict-retried batch is logged exactly
+///   once, on the attempt that wins; losing attempts discover the stale
+///   head before appending anything. (On the legacy backend the cache
+///   write lock provides the same ordering trivially: the record is
+///   appended after the batch's effect is computed and before any state
+///   is overwritten.) Publishes serialize; builds stay concurrent.
+/// * **Sync policies** ([`SyncPolicy`]): `PerCommit` fsyncs every record
+///   (a returned commit survives power loss — and costs a disk flush per
+///   commit); `Interval` group-commits, fsyncing at most once per window
+///   (bounded loss under power failure, near in-memory commit latency);
+///   `None` never fsyncs (a process crash loses nothing — the page cache
+///   survives it — only a machine crash can drop the tail). A failed
+///   append **panics**: continuing to accept writes a crash would
+///   silently lose is worse than stopping.
+/// * **Checkpoint/truncation invariant.** Periodically the full instance
+///   is snapshotted into a checkpoint file (temp file + atomic rename),
+///   the log rotates to a fresh segment, and all older segments and
+///   checkpoints are deleted. Recovery = newest checkpoint + replay of
+///   the segments after it, so replay work and disk usage are bounded by
+///   the checkpoint cadence, not by history; the trade is that
+///   [`TopoDatabase::open_at`] can only reach epochs at or after the
+///   newest checkpoint (it reports the recoverable range otherwise).
+/// * **Recovery** replays the log through the same op-application path
+///   live commits use (cross-checking each record's logged
+///   changed-name set), then rebuilds derived structures on first read
+///   through the ordinary build pipeline. A torn final record — the state
+///   an interrupted append leaves — is truncated away silently; any other
+///   corruption (including a checksum failure mid-log) fails the open
+///   loudly with the offending file and byte offset.
+///
+/// Setting `TOPODB_WAL=on` attaches a throwaway temp-dir log (sync policy
+/// from `TOPODB_WAL_SYNC`, default `none`) to every database constructed
+/// without an explicit path — CI runs the entire suite that way to keep
+/// the logging protocol in every code path's loop.
 pub struct TopoDatabase {
     backend: Backend,
     counters: BuildCounters,
+    durability: Option<Durability>,
 }
 
 enum Backend {
@@ -262,22 +319,138 @@ impl TopoDatabase {
 
     /// Build a database from an existing instance with an explicit backend
     /// choice: `true` for the epoch chain, `false` for the legacy
-    /// `RwLock`-cache oracle. The environment is not consulted — this is
-    /// how the differential tests and benches hold both backends
-    /// side-by-side in one process.
+    /// `RwLock`-cache oracle. The backend environment variable is not
+    /// consulted — this is how the differential tests and benches hold
+    /// both backends side-by-side in one process. (`TOPODB_WAL=on` still
+    /// attaches its throwaway log, so the durability protocol is exercised
+    /// on whichever backend is being tested.)
     pub fn from_instance_with_epoch_chain(instance: SpatialInstance, epoch_chain: bool) -> Self {
+        let durability =
+            if durability::wal_enabled_by_env() { durability::ephemeral(&instance) } else { None };
+        TopoDatabase::assemble(instance, 0, epoch_chain, durability)
+    }
+
+    /// The one true constructor: every public way of building a database
+    /// funnels through here with the recovered (or initial) instance, the
+    /// epoch it represents, the backend choice, and the log attachment.
+    fn assemble(
+        instance: SpatialInstance,
+        epoch: u64,
+        epoch_chain: bool,
+        durability: Option<Durability>,
+    ) -> Self {
         let backend = if epoch_chain {
-            Backend::Chain(EpochChain::new(Arc::new(instance)))
+            Backend::Chain(EpochChain::new_at(Arc::new(instance), epoch))
         } else {
             Backend::Legacy(RwLock::new(LegacyState {
                 instance: Arc::new(instance),
-                epoch: 0,
+                epoch,
                 snapshot: None,
                 flat: None,
                 components: BTreeMap::new(),
             }))
         };
-        TopoDatabase { backend, counters: BuildCounters::default() }
+        TopoDatabase { backend, counters: BuildCounters::default(), durability }
+    }
+
+    // ---- durable constructors -------------------------------------------
+
+    /// Create a durable database at `dir` holding `instance` as its epoch
+    /// 0, with the default log configuration ([`SyncPolicy::PerCommit`]:
+    /// every commit is fsynced). Fails if `dir` already holds a database.
+    ///
+    /// See the "Durability model" section above for the protocol.
+    pub fn create(dir: impl AsRef<Path>, instance: SpatialInstance) -> Result<Self, TopoDbError> {
+        TopoDatabase::create_with_config(dir, instance, WalConfig::default())
+    }
+
+    /// [`TopoDatabase::create`] with an explicit log configuration (sync
+    /// policy, segment rotation threshold, checkpoint cadence).
+    pub fn create_with_config(
+        dir: impl AsRef<Path>,
+        instance: SpatialInstance,
+        config: WalConfig,
+    ) -> Result<Self, TopoDbError> {
+        let w = wal::Wal::create(dir.as_ref(), 0, &instance, config)?;
+        Ok(TopoDatabase::assemble(
+            instance,
+            0,
+            epoch_chain_enabled_by_env(),
+            Some(Durability::new(w)),
+        ))
+    }
+
+    /// Reopen the durable database at `dir`: recover the newest checkpoint
+    /// plus the log tail (truncating a torn final record, if the last run
+    /// crashed mid-append), replay it through the same op-application path
+    /// live commits use, and resume accepting commits — which continue the
+    /// epoch numbering and the log exactly where the crash left them.
+    ///
+    /// Corruption that is *not* a torn tail — a checksum failure mid-log,
+    /// a missing segment — fails loudly with the offending file and byte
+    /// offset in the [`TopoDbError::Durability`] error.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, TopoDbError> {
+        TopoDatabase::open_with_config(dir, WalConfig::default())
+    }
+
+    /// [`TopoDatabase::open`] with an explicit log configuration.
+    pub fn open_with_config(
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+    ) -> Result<Self, TopoDbError> {
+        let (w, recovery) = wal::Wal::open(dir.as_ref(), config)?;
+        let instance = durability::replay(&recovery.checkpoint_instance, &recovery.records)?;
+        Ok(TopoDatabase::assemble(
+            instance,
+            recovery.head_epoch(),
+            epoch_chain_enabled_by_env(),
+            Some(Durability::new(w)),
+        ))
+    }
+
+    /// Point-in-time reopen: reconstruct the database exactly as it was at
+    /// `epoch`, replaying the log only that far. Any epoch from the newest
+    /// checkpoint through the head is reachable; outside that range the
+    /// error reports what the log still covers.
+    ///
+    /// The returned database is **detached**: it does not hold the log (so
+    /// it can coexist with a live [`TopoDatabase::open`] of the same
+    /// directory, and several `open_at` histories can coexist with each
+    /// other), and commits made to it are in-memory only — it is a
+    /// read-mostly time-travel view, not a fork of the durable history.
+    pub fn open_at(dir: impl AsRef<Path>, epoch: u64) -> Result<Self, TopoDbError> {
+        let recovery = wal::Wal::read(dir.as_ref())?;
+        let records = recovery.records_up_to(epoch)?;
+        let instance = durability::replay(&recovery.checkpoint_instance, records)?;
+        Ok(TopoDatabase::assemble(instance, epoch, epoch_chain_enabled_by_env(), None))
+    }
+
+    /// Is a write-ahead log attached (via [`TopoDatabase::create`],
+    /// [`TopoDatabase::open`], or `TOPODB_WAL=on`)?
+    pub fn durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Force a checkpoint of the current epoch: snapshot the instance,
+    /// rotate the log, truncate everything older. No-op if no log is
+    /// attached. (Checkpoints also happen automatically every
+    /// [`WalConfig::checkpoint_every_records`] commits.)
+    pub fn checkpoint(&self) -> Result<(), TopoDbError> {
+        let Some(d) = &self.durability else { return Ok(()) };
+        // Serialize with commit publication so the checkpointed instance
+        // is exactly the one at the log's head epoch (a commit landing
+        // between the instance read and the checkpoint write would
+        // otherwise snapshot a stale instance under a newer epoch).
+        match &self.backend {
+            Backend::Chain(chain) => {
+                let _publishing = d.publish_lock.lock().unwrap_or_else(PoisonError::into_inner);
+                d.wal().checkpoint(&chain.head().instance).map_err(TopoDbError::from)
+            }
+            Backend::Legacy(lock) => {
+                let st = write(lock);
+                d.wal().checkpoint(&st.instance).map_err(TopoDbError::from)
+            }
+        }
     }
 
     /// Is this database running on the epoch chain (`true`) or the legacy
@@ -340,12 +513,23 @@ impl TopoDatabase {
     /// [`Transaction::commit`] and the single-mutation wrappers go through.
     pub(crate) fn commit_ops(&self, ops: Vec<Op>) -> CommitSummary {
         match &self.backend {
-            Backend::Chain(chain) => chain.commit(ops, &self.counters),
+            Backend::Chain(chain) => {
+                chain.commit(ops, &self.counters, self.durability.as_ref())
+            }
             Backend::Legacy(lock) => {
                 let mut st = write(lock);
                 let (next, changed) = epoch::apply_ops(&st.instance, &ops);
                 if changed.is_empty() {
                     return CommitSummary { epoch: st.epoch, changed };
+                }
+                // Log before publish: the record must be on the log before
+                // any state below is overwritten (the write lock already
+                // serializes appends in epoch order). A failed append
+                // panics before mutating anything, leaving the cache at
+                // the previous epoch — consistent with what a reopen of
+                // the log would recover.
+                if let Some(d) = &self.durability {
+                    d.log_batch(st.epoch + 1, &ops, &changed, &next);
                 }
                 // Infallible from here on: whole-value overwrites only, so
                 // a poisoned lock can never expose partially-applied state.

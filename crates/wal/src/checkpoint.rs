@@ -1,0 +1,223 @@
+//! Checkpoints: full-instance snapshots that bound replay work and allow
+//! segment truncation.
+//!
+//! A checkpoint file `checkpoint-{epoch:016x}.ckpt` holds the complete
+//! [`SpatialInstance`] as of that epoch:
+//!
+//! ```text
+//! [8-byte magic+version][u32 LE payload length][u32 LE CRC-32 of payload]
+//! [payload: u64 epoch + SpatialInstance (spatial_core::wire)]
+//! ```
+//!
+//! Checkpoints are written to a `.tmp` sibling, fsynced, then renamed into
+//! place (and the directory fsynced), so a crash can never leave a
+//! half-written file under the checkpoint name — recovery either sees the
+//! old checkpoint or the new one, never a torn one. After the rename the
+//! writer rotates to a fresh segment and deletes every older segment and
+//! checkpoint; recovery therefore only ever replays records *after* the
+//! newest checkpoint's epoch, and leftover older files (a crash between
+//! rename and deletion) are skipped, not replayed.
+
+use crate::crc::crc32;
+use crate::error::WalError;
+use spatial_core::instance::SpatialInstance;
+use spatial_core::wire::{put_u64, Wire, WireReader};
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic + format version opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TOPOCKP\x01";
+
+/// File name for the checkpoint taken at `epoch`.
+pub fn checkpoint_file_name(epoch: u64) -> String {
+    format!("checkpoint-{epoch:016x}.ckpt")
+}
+
+/// Parse a checkpoint file name back to its epoch.
+pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("checkpoint-")?.strip_suffix(".ckpt")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Serialize a checkpoint file's full contents.
+pub fn encode_checkpoint(epoch: u64, instance: &SpatialInstance) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(128);
+    put_u64(&mut payload, epoch);
+    instance.to_wire(&mut payload);
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parse and verify checkpoint file contents. The file name (for error
+/// messages) comes in via `name`; the epoch embedded in the payload must
+/// match `expect_epoch` (the epoch parsed from the file name).
+pub fn decode_checkpoint(
+    bytes: &[u8],
+    name: &str,
+    expect_epoch: u64,
+) -> Result<SpatialInstance, WalError> {
+    let corrupt = |offset: u64, detail: String| {
+        Err(WalError::Corrupt { segment: name.to_string(), offset, detail })
+    };
+    if bytes.len() < 16 {
+        return corrupt(0, format!("checkpoint header truncated at {} bytes", bytes.len()));
+    }
+    if bytes[..8] != CHECKPOINT_MAGIC {
+        return corrupt(0, "bad checkpoint magic".to_string());
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let crc_stored = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if bytes.len() != 16 + len {
+        return corrupt(
+            8,
+            format!("checkpoint declares {len} payload bytes, file holds {}", bytes.len() - 16),
+        );
+    }
+    let payload = &bytes[16..];
+    if crc32(payload) != crc_stored {
+        return corrupt(16, "checkpoint checksum mismatch".to_string());
+    }
+    let mut r = WireReader::new(payload);
+    let epoch = r
+        .read_u64()
+        .map_err(|e| WalError::Corrupt {
+            segment: name.to_string(),
+            offset: 16 + e.offset as u64,
+            detail: e.detail,
+        })?;
+    if epoch != expect_epoch {
+        return corrupt(16, format!("checkpoint named for epoch {expect_epoch} carries {epoch}"));
+    }
+    let instance = SpatialInstance::from_wire(&mut r).map_err(|e| WalError::Corrupt {
+        segment: name.to_string(),
+        offset: 16 + e.offset as u64,
+        detail: e.detail,
+    })?;
+    if !r.is_exhausted() {
+        return corrupt(
+            (16 + r.position()) as u64,
+            format!("{} trailing bytes in checkpoint payload", r.remaining()),
+        );
+    }
+    Ok(instance)
+}
+
+/// Write the checkpoint for `epoch` durably into `dir`: temp file, fsync,
+/// atomic rename, directory fsync (best-effort where the platform allows).
+pub fn write_checkpoint(
+    dir: &Path,
+    epoch: u64,
+    instance: &SpatialInstance,
+) -> Result<PathBuf, WalError> {
+    let final_path = dir.join(checkpoint_file_name(epoch));
+    let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(epoch)));
+    let bytes = encode_checkpoint(epoch, instance);
+    let ctx = |what: &str| format!("{what} {}", tmp_path.display());
+
+    let mut f = File::create(&tmp_path).map_err(|e| WalError::io(ctx("create"), &e))?;
+    f.write_all(&bytes).map_err(|e| WalError::io(ctx("write"), &e))?;
+    f.sync_all().map_err(|e| WalError::io(ctx("fsync"), &e))?;
+    drop(f);
+    fs::rename(&tmp_path, &final_path)
+        .map_err(|e| WalError::io(format!("rename into {}", final_path.display()), &e))?;
+    // Make the rename itself durable. Directory fsync is not supported
+    // everywhere; failure here narrows the durability window but does not
+    // threaten consistency (the rename is atomic either way).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Read and verify the checkpoint at `path`, returning its epoch (from the
+/// validated file name) and instance.
+pub fn read_checkpoint(path: &Path) -> Result<(u64, SpatialInstance), WalError> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .map(str::to_string)
+        .unwrap_or_else(|| path.display().to_string());
+    let epoch = parse_checkpoint_name(&name).ok_or_else(|| WalError::NotADatabase {
+        path: path.display().to_string(),
+        detail: "not a checkpoint file name".to_string(),
+    })?;
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| WalError::io(format!("read checkpoint {}", path.display()), &e))?;
+    let instance = decode_checkpoint(&bytes, &name, epoch)?;
+    Ok((epoch, instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::region::Region;
+
+    fn sample_instance() -> SpatialInstance {
+        let mut inst = SpatialInstance::new();
+        inst.insert("A", Region::rect_from_ints(0, 0, 10, 10));
+        inst.insert("B", Region::polygon_from_ints(&[(2, 2), (8, 2), (5, 7)]).unwrap());
+        inst
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let inst = sample_instance();
+        let bytes = encode_checkpoint(42, &inst);
+        assert_eq!(decode_checkpoint(&bytes, "c", 42), Ok(inst));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        assert_eq!(parse_checkpoint_name(&checkpoint_file_name(7)), Some(7));
+        assert_eq!(parse_checkpoint_name("seg-0000000000000007.log"), None);
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = encode_checkpoint(3, &sample_instance());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                decode_checkpoint(&bad, "c", 3).is_err(),
+                "flip at byte {i} of {} undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_checkpoint(3, &sample_instance());
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut], "c", 3).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn epoch_name_mismatch_is_detected() {
+        let bytes = encode_checkpoint(3, &sample_instance());
+        let err = decode_checkpoint(&bytes, "c", 4).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn write_read_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("wal-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = sample_instance();
+        let path = write_checkpoint(&dir, 9, &inst).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), (9, inst));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Durability error type.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, reading, or appending to a log.
+///
+/// The type is `Clone + PartialEq + Eq` (I/O errors are captured as
+/// strings) so the facade's `TopoDbError` can embed it without giving up
+/// its own derives.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalError {
+    /// An operating-system I/O failure. `context` says what the log was
+    /// doing (e.g. `"append to seg-…"`), `message` is the OS error text.
+    Io {
+        /// What the log was doing when the failure happened.
+        context: String,
+        /// The underlying OS error, stringified.
+        message: String,
+    },
+    /// Bytes on disk that are neither a valid record nor a tolerable torn
+    /// tail: a checksum mismatch with further data after it, an invalid
+    /// payload, a bad header, epochs out of order.
+    Corrupt {
+        /// File name of the offending segment or checkpoint.
+        segment: String,
+        /// Absolute byte offset of the offending bytes within that file.
+        offset: u64,
+        /// What was wrong there.
+        detail: String,
+    },
+    /// The directory does not look like a database (no valid checkpoint).
+    NotADatabase {
+        /// The directory that was opened.
+        path: String,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// `create` was pointed at a directory that already holds a database.
+    AlreadyExists {
+        /// The offending directory.
+        path: String,
+    },
+    /// A point-in-time reopen asked for an epoch the log no longer (or not
+    /// yet) covers.
+    UnknownEpoch {
+        /// The epoch that was requested.
+        requested: u64,
+        /// Oldest recoverable epoch (the newest checkpoint's epoch).
+        oldest: u64,
+        /// Newest logged epoch (the head at the time of the crash).
+        newest: u64,
+    },
+}
+
+impl WalError {
+    pub(crate) fn io(context: impl Into<String>, err: &std::io::Error) -> WalError {
+        WalError::Io { context: context.into(), message: err.to_string() }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { context, message } => write!(f, "wal i/o error ({context}): {message}"),
+            WalError::Corrupt { segment, offset, detail } => {
+                write!(f, "wal corruption in {segment} at byte {offset}: {detail}")
+            }
+            WalError::NotADatabase { path, detail } => {
+                write!(f, "{path} is not a topodb database: {detail}")
+            }
+            WalError::AlreadyExists { path } => {
+                write!(f, "{path} already contains a topodb database")
+            }
+            WalError::UnknownEpoch { requested, oldest, newest } => write!(
+                f,
+                "epoch {requested} is not recoverable from this log \
+                 (covers epochs {oldest}..={newest})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}

@@ -1,0 +1,329 @@
+//! Write-ahead logging, checkpoints, and crash recovery for the
+//! topological database.
+//!
+//! The facade (`topodb`) publishes every commit as an immutable epoch —
+//! instance plus changed-name set — which is exactly the shape of a
+//! replayable log record. This crate persists that sequence:
+//!
+//! * **Records** ([`record`]): one length-prefixed, CRC-32-checksummed
+//!   record per committed batch, carrying the epoch number, the
+//!   insert/remove ops with *exact* rational coordinates
+//!   (numerator/denominator pairs via [`spatial_core::wire`]), and the
+//!   changed-name set. Hand-rolled framing — the workspace builds offline,
+//!   so there is no serde.
+//! * **Segments** ([`segment`]): records append to
+//!   `seg-{first_epoch:016x}.log` files that rotate at a size threshold;
+//!   file-name order is epoch order.
+//! * **Sync policy** ([`SyncPolicy`]): `PerCommit` fsync for full
+//!   durability, `Interval` group-commit bounding loss to a time window,
+//!   or `None` for page-cache-only durability.
+//! * **Checkpoints** ([`checkpoint`]): periodically the full
+//!   [`spatial_core::instance::SpatialInstance`] is snapshotted
+//!   (temp-file + atomic rename), the log rotates, and everything older is
+//!   truncated away — bounding both replay time and disk usage.
+//! * **Recovery** ([`recovery`]): reopening scans newest checkpoint + the
+//!   segments after it. A *torn tail* — an incomplete final record, or a
+//!   checksum-failing record with nothing after it — is silently dropped
+//!   (that is the state an interrupted append legitimately leaves);
+//!   any other anomaly, including a CRC mismatch mid-log, is a loud
+//!   [`WalError::Corrupt`] naming the file and byte offset.
+//!
+//! The crate knows nothing about arrangements, invariants, or queries: it
+//! stores and replays batches of named-region mutations. `topodb` owns the
+//! protocol above it (log-before-publish ordering, replay through its own
+//! rebuild path, point-in-time reopen).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod crc;
+pub mod error;
+pub mod record;
+pub mod recovery;
+pub mod segment;
+pub mod testing;
+pub mod writer;
+
+pub use error::WalError;
+pub use record::{BatchRecord, WalOp};
+pub use recovery::Recovery;
+pub use writer::{SyncPolicy, Wal, WalConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_core::instance::SpatialInstance;
+    use spatial_core::region::Region;
+    use std::path::{Path, PathBuf};
+
+    /// Fresh scratch directory, cleaned up on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir()
+                .join(format!("wal-lib-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn region(i: u64) -> Region {
+        Region::rect_from_ints(i as i64, 0, i as i64 + 2, 2)
+    }
+
+    /// Run `n` insert batches through a fresh wal, returning the final
+    /// instance.
+    fn commit_n(wal: &Wal, n: u64) -> SpatialInstance {
+        let mut inst = SpatialInstance::new();
+        for epoch in 1..=n {
+            let name = format!("r{epoch}");
+            inst.insert(name.clone(), region(epoch));
+            wal.append_batch(
+                &BatchRecord {
+                    epoch,
+                    ops: vec![WalOp::Insert(name.clone(), region(epoch))],
+                    changed: vec![name],
+                },
+                &inst,
+            )
+            .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn create_then_reopen_replays_everything() {
+        let scratch = Scratch::new("reopen");
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+            .unwrap();
+        let inst = commit_n(&wal, 5);
+        drop(wal);
+
+        let (wal, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        assert_eq!(recovery.checkpoint_epoch, 0);
+        assert_eq!(recovery.head_epoch(), 5);
+        assert_eq!(recovery.records.len(), 5);
+        assert!(!recovery.torn_tail);
+        // Replaying the records over the checkpoint reproduces the final
+        // instance exactly.
+        let mut replayed = recovery.checkpoint_instance.clone();
+        for rec in &recovery.records {
+            for op in &rec.ops {
+                match op {
+                    WalOp::Insert(name, r) => {
+                        replayed.insert(name.clone(), r.clone());
+                    }
+                    WalOp::Remove(name) => {
+                        replayed.remove(name);
+                    }
+                }
+            }
+        }
+        assert_eq!(replayed, inst);
+        assert_eq!(wal.head_epoch(), 5);
+    }
+
+    #[test]
+    fn appends_resume_after_reopen() {
+        let scratch = Scratch::new("resume");
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+            .unwrap();
+        let mut inst = commit_n(&wal, 3);
+        drop(wal);
+
+        let (wal, _) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        inst.insert("x", region(50));
+        wal.append_batch(
+            &BatchRecord {
+                epoch: 4,
+                ops: vec![WalOp::Insert("x".into(), region(50))],
+                changed: vec!["x".into()],
+            },
+            &inst,
+        )
+        .unwrap();
+        drop(wal);
+
+        let (_, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        assert_eq!(recovery.head_epoch(), 4);
+    }
+
+    #[test]
+    fn out_of_order_append_is_refused() {
+        let scratch = Scratch::new("order");
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+            .unwrap();
+        let inst = commit_n(&wal, 2);
+        let err = wal
+            .append_batch(&BatchRecord { epoch: 2, ops: vec![], changed: vec![] }, &inst)
+            .unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn create_refuses_existing_database() {
+        let scratch = Scratch::new("exists");
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+            .unwrap();
+        drop(wal);
+        let err =
+            Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, WalError::AlreadyExists { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn open_of_nondatabase_is_refused() {
+        let scratch = Scratch::new("nondb");
+        std::fs::create_dir_all(scratch.path()).unwrap();
+        let err = Wal::open(scratch.path(), WalConfig::default()).unwrap_err();
+        assert!(matches!(err, WalError::NotADatabase { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn segment_rotation_preserves_replay() {
+        let scratch = Scratch::new("rotate");
+        // Tiny segments force a rotation roughly every record.
+        let cfg = WalConfig::default().with_segment_max_bytes(96);
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), cfg).unwrap();
+        commit_n(&wal, 12);
+        drop(wal);
+
+        assert!(
+            testing::segment_files(scratch.path()).len() > 3,
+            "expected several segments, found {:?}",
+            testing::segment_files(scratch.path())
+        );
+        let (_, recovery) = Wal::open(scratch.path(), cfg).unwrap();
+        assert_eq!(recovery.head_epoch(), 12);
+        assert_eq!(recovery.records.len(), 12);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_bounds_replay() {
+        let scratch = Scratch::new("ckpt");
+        let cfg = WalConfig::default().with_checkpoint_every(4);
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), cfg).unwrap();
+        commit_n(&wal, 10);
+        assert_eq!(wal.checkpoint_epoch(), 8, "periodic checkpoint at the 8th record");
+        drop(wal);
+
+        let (_, recovery) = Wal::open(scratch.path(), cfg).unwrap();
+        assert_eq!(recovery.checkpoint_epoch, 8);
+        assert_eq!(recovery.records.len(), 2, "only post-checkpoint records replay");
+        assert_eq!(recovery.head_epoch(), 10);
+        // Epochs below the checkpoint are no longer recoverable.
+        let err = recovery.records_up_to(3).unwrap_err();
+        assert_eq!(err, WalError::UnknownEpoch { requested: 3, oldest: 8, newest: 10 });
+        assert_eq!(recovery.records_up_to(9).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn explicit_checkpoint_and_sync() {
+        let scratch = Scratch::new("explicit");
+        let cfg = WalConfig::default().with_sync(SyncPolicy::None);
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), cfg).unwrap();
+        let inst = commit_n(&wal, 3);
+        wal.sync().unwrap();
+        wal.checkpoint(&inst).unwrap();
+        assert_eq!(wal.checkpoint_epoch(), 3);
+        drop(wal);
+
+        let (_, recovery) = Wal::open(scratch.path(), cfg).unwrap();
+        assert_eq!(recovery.checkpoint_epoch, 3);
+        assert_eq!(recovery.checkpoint_instance.len(), 3);
+        assert!(recovery.records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let scratch = Scratch::new("torn");
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+            .unwrap();
+        let mut inst = commit_n(&wal, 4);
+        drop(wal);
+
+        // Crash mid-append: chop the last record in half.
+        let segments = testing::segment_files(scratch.path());
+        let seg = segments.last().unwrap();
+        let bounds = testing::record_boundaries(seg);
+        let torn_at = (bounds[3] + bounds[4]) / 2;
+        testing::truncate_at(seg, torn_at);
+
+        let (wal, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(recovery.head_epoch(), 3, "the half-written epoch 4 is gone");
+        // The torn bytes are physically gone and epoch 4 can be re-logged.
+        assert_eq!(std::fs::metadata(seg).unwrap().len(), bounds[3]);
+        inst.insert("again", region(9));
+        wal.append_batch(
+            &BatchRecord {
+                epoch: 4,
+                ops: vec![WalOp::Insert("again".into(), region(9))],
+                changed: vec!["again".into()],
+            },
+            &inst,
+        )
+        .unwrap();
+        drop(wal);
+        let (_, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        assert_eq!(recovery.head_epoch(), 4);
+        assert!(!recovery.torn_tail);
+    }
+
+    #[test]
+    fn mid_log_corruption_fails_with_offset() {
+        let scratch = Scratch::new("midlog");
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+            .unwrap();
+        commit_n(&wal, 4);
+        drop(wal);
+
+        let segments = testing::segment_files(scratch.path());
+        let seg = segments.last().unwrap();
+        let bounds = testing::record_boundaries(seg);
+        // Flip a byte inside the *second* record's payload: records follow
+        // it, so this must be loud, and the error must point at the
+        // record's own offset.
+        let flip_at = bounds[1] + 12;
+        testing::flip_byte(seg, flip_at);
+        let err = Wal::open(scratch.path(), WalConfig::default()).unwrap_err();
+        match err {
+            WalError::Corrupt { offset, detail, .. } => {
+                assert_eq!(offset, bounds[1], "error points at the corrupted record");
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_is_nondestructive() {
+        let scratch = Scratch::new("readonly");
+        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
+            .unwrap();
+        commit_n(&wal, 3);
+        drop(wal);
+        let segments = testing::segment_files(scratch.path());
+        let seg = segments.last().unwrap();
+        let bounds = testing::record_boundaries(seg);
+        testing::truncate_at(seg, bounds[3] - 1);
+
+        let before = std::fs::read(seg).unwrap();
+        let recovery = Wal::read(scratch.path()).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(recovery.head_epoch(), 2);
+        assert_eq!(std::fs::read(seg).unwrap(), before, "read-only scan must not truncate");
+    }
+}

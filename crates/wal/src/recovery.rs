@@ -1,0 +1,155 @@
+//! Directory-level recovery: locate the newest checkpoint, replay every
+//! segment after it, and tolerate exactly the states a crash of our own
+//! writer can produce.
+//!
+//! The writer's invariants make recovery simple:
+//!
+//! * checkpoints appear atomically (temp + rename), so the newest
+//!   checkpoint file is always complete and verifiable;
+//! * every checkpoint rotates to a fresh segment named for the next epoch,
+//!   so all records newer than the checkpoint live in segments whose
+//!   file-name epoch exceeds the checkpoint epoch — older segments (which
+//!   a crash between rename and deletion can leave behind) are skipped
+//!   wholesale, never replayed;
+//! * epochs are exactly sequential across the replayed segments (enforced
+//!   by [`scan_segment`]), so a missing or reordered segment is detected
+//!   as corruption instead of silently diverging;
+//! * only the final segment's final record may be incomplete or
+//!   checksum-failing (the torn tail an interrupted append leaves); it is
+//!   dropped, and the recovered state is the last *durably complete*
+//!   batch.
+
+use crate::checkpoint::{parse_checkpoint_name, read_checkpoint};
+use crate::error::WalError;
+use crate::record::BatchRecord;
+use crate::segment::{parse_segment_name, scan_segment};
+use spatial_core::instance::SpatialInstance;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Everything recovery learned from the directory: the base state and the
+/// committed batches after it, in replay order.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Epoch of the newest checkpoint (the oldest recoverable epoch).
+    pub checkpoint_epoch: u64,
+    /// The full instance as of [`checkpoint_epoch`].
+    ///
+    /// [`checkpoint_epoch`]: Recovery::checkpoint_epoch
+    pub checkpoint_instance: SpatialInstance,
+    /// Committed batches after the checkpoint, exactly sequential from
+    /// `checkpoint_epoch + 1`.
+    pub records: Vec<BatchRecord>,
+    /// Whether a torn tail was found (and, on a writable open, truncated).
+    pub torn_tail: bool,
+    pub(crate) tail: Option<TailSegment>,
+}
+
+/// Where the final segment's valid prefix ends — the appender resumes here.
+#[derive(Debug)]
+pub(crate) struct TailSegment {
+    pub(crate) path: PathBuf,
+    pub(crate) first_epoch: u64,
+    pub(crate) valid_len: u64,
+}
+
+impl Recovery {
+    /// The newest recovered epoch: checkpoint plus one per replayed batch.
+    pub fn head_epoch(&self) -> u64 {
+        self.checkpoint_epoch + self.records.len() as u64
+    }
+
+    /// The record prefix reaching exactly `epoch`, for point-in-time
+    /// reopen. Errors with the recoverable range if `epoch` predates the
+    /// checkpoint (truncated away) or postdates the head (never logged).
+    pub fn records_up_to(&self, epoch: u64) -> Result<&[BatchRecord], WalError> {
+        if epoch < self.checkpoint_epoch || epoch > self.head_epoch() {
+            return Err(WalError::UnknownEpoch {
+                requested: epoch,
+                oldest: self.checkpoint_epoch,
+                newest: self.head_epoch(),
+            });
+        }
+        Ok(&self.records[..(epoch - self.checkpoint_epoch) as usize])
+    }
+}
+
+fn list_dir(dir: &Path) -> Result<Vec<(String, PathBuf)>, WalError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| WalError::io(format!("read dir {}", dir.display()), &e))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| WalError::io(format!("read dir {}", dir.display()), &e))?;
+        if let Some(name) = entry.file_name().to_str() {
+            out.push((name.to_string(), entry.path()));
+        }
+    }
+    Ok(out)
+}
+
+/// Scan `dir` and reconstruct the committed history. Read-only: torn tails
+/// are noted but not truncated (the writable open does that).
+pub fn scan_dir(dir: &Path) -> Result<Recovery, WalError> {
+    let files = list_dir(dir)?;
+
+    let newest_checkpoint = files
+        .iter()
+        .filter_map(|(name, path)| parse_checkpoint_name(name).map(|e| (e, path)))
+        .max_by_key(|(e, _)| *e);
+    let Some((_, ckpt_path)) = newest_checkpoint else {
+        return Err(WalError::NotADatabase {
+            path: dir.display().to_string(),
+            detail: "no checkpoint file found".to_string(),
+        });
+    };
+    let (checkpoint_epoch, checkpoint_instance) = read_checkpoint(ckpt_path)?;
+
+    let mut segments: Vec<(u64, String, PathBuf)> = files
+        .iter()
+        .filter_map(|(name, path)| {
+            parse_segment_name(name).map(|e| (e, name.clone(), path.clone()))
+        })
+        .filter(|(first_epoch, _, _)| *first_epoch > checkpoint_epoch)
+        .collect();
+    segments.sort_by_key(|(e, _, _)| *e);
+
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    let mut tail = None;
+    let mut prev_epoch = checkpoint_epoch;
+    let last_idx = segments.len().wrapping_sub(1);
+    for (idx, (_, name, path)) in segments.iter().enumerate() {
+        let bytes = fs::read(path)
+            .map_err(|e| WalError::io(format!("read segment {}", path.display()), &e))?;
+        let scan = scan_segment(&bytes, name, idx == last_idx, prev_epoch)?;
+        prev_epoch += scan.records.len() as u64;
+        records.extend(scan.records);
+        if idx == last_idx {
+            torn_tail = scan.torn;
+            tail = Some(TailSegment {
+                path: path.clone(),
+                first_epoch: scan.first_epoch,
+                valid_len: scan.valid_len,
+            });
+        }
+    }
+
+    Ok(Recovery { checkpoint_epoch, checkpoint_instance, records, torn_tail, tail })
+}
+
+/// Best-effort removal of files a checkpoint made obsolete: temp leftovers,
+/// checkpoints older than `keep_epoch`, and segments entirely at or below
+/// it. Failures are ignored — recovery skips these files anyway.
+pub(crate) fn remove_stale(dir: &Path, keep_epoch: u64) {
+    let Ok(files) = fs::read_dir(dir) else { return };
+    for entry in files.flatten() {
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else { continue };
+        let stale = name.ends_with(".tmp")
+            || parse_checkpoint_name(&name).is_some_and(|e| e < keep_epoch)
+            || parse_segment_name(&name).is_some_and(|e| e <= keep_epoch);
+        if stale {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Segment files: naming, headers, and the single-segment scan.
+//!
+//! The log is a sequence of segment files named `seg-{first_epoch:016x}.log`
+//! — the hex field is the epoch of the first record the segment *may*
+//! contain, so lexicographic file-name order is epoch order. Each segment
+//! starts with a 16-byte header (8-byte magic+version, 8-byte LE first
+//! epoch) followed by framed records ([`crate::record`]).
+//!
+//! Scanning distinguishes a *torn tail* — the unsynced suffix a crash can
+//! leave in the **final** segment: an incomplete record, or a
+//! checksum-failing record with nothing after it — from *corruption*: a
+//! checksum failure (or framing violation) anywhere bytes demonstrably
+//! continue past it, or any anomaly in a non-final segment. Torn tails are
+//! silently dropped at the byte where the valid prefix ends; corruption is
+//! a loud [`WalError::Corrupt`] carrying the segment name and offset.
+
+use crate::error::WalError;
+use crate::record::{read_record, BatchRecord, RecordRead};
+
+/// Magic + format version opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"TOPOWAL\x01";
+
+/// Total header length: magic + little-endian first-epoch word.
+pub const SEGMENT_HEADER_LEN: usize = 16;
+
+/// File name for the segment whose first record publishes `first_epoch`.
+pub fn segment_file_name(first_epoch: u64) -> String {
+    format!("seg-{first_epoch:016x}.log")
+}
+
+/// Parse a segment file name back to its first epoch.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// The 16-byte header for a segment starting at `first_epoch`.
+pub fn encode_segment_header(first_epoch: u64) -> [u8; SEGMENT_HEADER_LEN] {
+    let mut h = [0u8; SEGMENT_HEADER_LEN];
+    h[..8].copy_from_slice(&SEGMENT_MAGIC);
+    h[8..].copy_from_slice(&first_epoch.to_le_bytes());
+    h
+}
+
+/// Result of scanning one segment's bytes.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// The first-epoch word from the header.
+    pub first_epoch: u64,
+    /// Complete, checksum-verified records in file order.
+    pub records: Vec<BatchRecord>,
+    /// Length of the valid prefix: the offset just past the last complete
+    /// record (or past the header if there are none). Bytes beyond this
+    /// are the torn tail.
+    pub valid_len: u64,
+    /// Whether a torn tail was dropped.
+    pub torn: bool,
+}
+
+/// Scan a whole segment.
+///
+/// `is_final` selects torn-tail tolerance (only the last segment of the
+/// log may legitimately end mid-record). `prev_epoch` is the last epoch
+/// seen before this segment — records must continue the exactly-sequential
+/// epoch chain (`prev + 1, prev + 2, …`); a gap or repeat means a segment
+/// or record went missing and replay would silently diverge, so it is
+/// reported as corruption, not tolerated.
+///
+/// A final segment too short to hold a header (a crash between file
+/// creation and the header write) scans as empty-and-torn with
+/// `valid_len = 0`; the caller recreates the file.
+pub fn scan_segment(
+    bytes: &[u8],
+    name: &str,
+    is_final: bool,
+    prev_epoch: u64,
+) -> Result<SegmentScan, WalError> {
+    let corrupt = |offset: u64, detail: String| {
+        Err(WalError::Corrupt { segment: name.to_string(), offset, detail })
+    };
+
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        if is_final {
+            return Ok(SegmentScan {
+                first_epoch: prev_epoch + 1,
+                records: Vec::new(),
+                valid_len: 0,
+                torn: true,
+            });
+        }
+        return corrupt(0, format!("segment header truncated at {} bytes", bytes.len()));
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return corrupt(0, "bad segment magic".to_string());
+    }
+    let first_epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if first_epoch != prev_epoch + 1 {
+        return corrupt(
+            8,
+            format!(
+                "segment declares first epoch {first_epoch} but the log is at epoch {prev_epoch}"
+            ),
+        );
+    }
+
+    let mut records = Vec::new();
+    let mut pos = SEGMENT_HEADER_LEN;
+    let mut next_epoch = first_epoch;
+    loop {
+        if pos == bytes.len() {
+            return Ok(SegmentScan { first_epoch, records, valid_len: pos as u64, torn: false });
+        }
+        match read_record(bytes, pos, name)? {
+            RecordRead::Complete(record, end) => {
+                if record.epoch != next_epoch {
+                    return corrupt(
+                        pos as u64,
+                        format!("expected epoch {next_epoch}, record carries {}", record.epoch),
+                    );
+                }
+                next_epoch += 1;
+                records.push(record);
+                pos = end;
+            }
+            RecordRead::Incomplete => {
+                if is_final {
+                    return Ok(SegmentScan {
+                        first_epoch,
+                        records,
+                        valid_len: pos as u64,
+                        torn: true,
+                    });
+                }
+                return corrupt(
+                    pos as u64,
+                    "incomplete record in a non-final segment".to_string(),
+                );
+            }
+            RecordRead::BadCrc { at, end } => {
+                // Tolerable only as the very last thing in the log: a
+                // record the crash half-wrote whose tail happened to
+                // contain old bytes. Anything after it proves the record
+                // was once complete — that is corruption.
+                if is_final && end == bytes.len() {
+                    return Ok(SegmentScan {
+                        first_epoch,
+                        records,
+                        valid_len: at as u64,
+                        torn: true,
+                    });
+                }
+                return corrupt(
+                    at as u64,
+                    format!(
+                        "record checksum mismatch with {} bytes following it",
+                        bytes.len() - end
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalOp;
+    use spatial_core::region::Region;
+
+    fn rec(epoch: u64) -> BatchRecord {
+        BatchRecord {
+            epoch,
+            ops: vec![WalOp::Insert(
+                format!("r{epoch}"),
+                Region::rect_from_ints(0, 0, 1 + epoch as i64, 2),
+            )],
+            changed: vec![format!("r{epoch}")],
+        }
+    }
+
+    fn segment_with(epochs: std::ops::Range<u64>) -> Vec<u8> {
+        let mut bytes = encode_segment_header(epochs.start).to_vec();
+        for e in epochs {
+            bytes.extend_from_slice(&rec(e).encode_framed());
+        }
+        bytes
+    }
+
+    #[test]
+    fn name_round_trip() {
+        assert_eq!(parse_segment_name(&segment_file_name(0)), Some(0));
+        assert_eq!(parse_segment_name(&segment_file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_segment_name("seg-zzz.log"), None);
+        assert_eq!(parse_segment_name("checkpoint-0000000000000001.ckpt"), None);
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let bytes = segment_with(5..9);
+        let scan = scan_segment(&bytes, "s", true, 4).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert!(!scan.torn);
+        assert_eq!(scan.records.iter().map(|r| r.epoch).collect::<Vec<_>>(), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn torn_tail_tolerated_only_in_final_segment() {
+        let bytes = segment_with(1..4);
+        let boundary_after_two = {
+            let mut b = encode_segment_header(1).to_vec();
+            b.extend_from_slice(&rec(1).encode_framed());
+            b.extend_from_slice(&rec(2).encode_framed());
+            b.len()
+        };
+        for cut in boundary_after_two + 1..bytes.len() {
+            let scan = scan_segment(&bytes[..cut], "s", true, 0).unwrap();
+            assert_eq!(scan.records.len(), 2, "cut at {cut}");
+            assert!(scan.torn);
+            assert_eq!(scan.valid_len as usize, boundary_after_two);
+
+            let err = scan_segment(&bytes[..cut], "s", false, 0).unwrap_err();
+            assert!(matches!(err, WalError::Corrupt { .. }), "cut at {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn bad_crc_final_record_is_torn_mid_log_is_corrupt() {
+        let bytes = segment_with(1..3);
+        // Flip a byte in the *last* record's payload.
+        let mut torn = bytes.clone();
+        let last = torn.len() - 3;
+        torn[last] ^= 0xFF;
+        let scan = scan_segment(&torn, "s", true, 0).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn);
+
+        // Same flip is corruption when bytes follow (non-final position in
+        // the file) or when the segment is not final.
+        let err = scan_segment(&torn, "s", false, 0).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }));
+
+        let mut mid = bytes.clone();
+        let first_payload = SEGMENT_HEADER_LEN + 8 + 2;
+        mid[first_payload] ^= 0xFF;
+        let err = scan_segment(&mid, "s", true, 0).unwrap_err();
+        match err {
+            WalError::Corrupt { offset, detail, .. } => {
+                assert_eq!(offset, SEGMENT_HEADER_LEN as u64);
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_gap_is_corruption() {
+        let mut bytes = encode_segment_header(1).to_vec();
+        bytes.extend_from_slice(&rec(1).encode_framed());
+        bytes.extend_from_slice(&rec(3).encode_framed());
+        let err = scan_segment(&bytes, "s", true, 0).unwrap_err();
+        match err {
+            WalError::Corrupt { detail, .. } => assert!(detail.contains("expected epoch 2")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_mismatches_are_corruption() {
+        let bytes = segment_with(4..6);
+        let err = scan_segment(&bytes, "s", true, 0).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { offset: 8, .. }), "{err:?}");
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 1;
+        let err = scan_segment(&bad_magic, "s", true, 3).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { offset: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn headerless_final_segment_is_torn_empty() {
+        let scan = scan_segment(&SEGMENT_MAGIC[..5], "s", true, 9).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.first_epoch, 10);
+    }
+}

@@ -1,0 +1,114 @@
+//! Crash-injection support for recovery tests.
+//!
+//! The recovery differential suites (here and in `topodb`) simulate
+//! crashes by mutilating log files directly — truncating at chosen byte
+//! offsets, flipping payload bytes — then reopening. These helpers expose
+//! just enough framing knowledge (record boundaries, payload extents) for
+//! those tests to aim precisely without re-implementing the format.
+//!
+//! This module is test *support*, not part of the durability API: nothing
+//! here is used by the writer or recovery paths.
+
+use crate::record::RECORD_HEADER_LEN;
+use crate::segment::{parse_segment_name, SEGMENT_HEADER_LEN};
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+/// The log's segment files under `dir`, sorted by first epoch.
+pub fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            parse_segment_name(name.to_str()?).map(|e| (e, entry.path()))
+        })
+        .collect();
+    segments.sort_by_key(|(e, _)| *e);
+    segments.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Byte offsets of the record boundaries in a segment file: the offset at
+/// which each record *ends* (equivalently, where the next begins), starting
+/// with the end of the segment header. Truncating the file at any returned
+/// offset simulates a crash exactly between two appends; truncating
+/// strictly between two consecutive offsets simulates a torn append.
+///
+/// Walks raw framing only (lengths, not checksums), so it also works on
+/// files the test has already corrupted.
+pub fn record_boundaries(path: &Path) -> Vec<u64> {
+    let bytes = fs::read(path).unwrap_or_default();
+    let mut boundaries = Vec::new();
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        return boundaries;
+    }
+    boundaries.push(SEGMENT_HEADER_LEN as u64);
+    let mut pos = SEGMENT_HEADER_LEN;
+    while bytes.len() - pos >= RECORD_HEADER_LEN {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let end = pos + RECORD_HEADER_LEN + len;
+        if end > bytes.len() {
+            break;
+        }
+        boundaries.push(end as u64);
+        pos = end;
+    }
+    boundaries
+}
+
+/// Truncate the file to exactly `len` bytes — the crash simulator.
+pub fn truncate_at(path: &Path, len: u64) {
+    let file = OpenOptions::new().write(true).open(path).expect("open for truncate");
+    file.set_len(len).expect("truncate");
+    file.sync_all().expect("fsync after truncate");
+}
+
+/// XOR one byte of the file at `offset` — the bit-rot simulator.
+pub fn flip_byte(path: &Path, offset: u64) {
+    let mut bytes = fs::read(path).expect("read for flip");
+    let i = offset as usize;
+    assert!(i < bytes.len(), "flip offset {offset} past end of {}", path.display());
+    bytes[i] ^= 0x5A;
+    fs::write(path, bytes).expect("write flipped bytes");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BatchRecord, WalOp};
+    use crate::writer::{Wal, WalConfig};
+    use spatial_core::instance::SpatialInstance;
+    use spatial_core::region::Region;
+
+    #[test]
+    fn boundaries_track_appends() {
+        let dir = std::env::temp_dir().join(format!("wal-testing-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let wal = Wal::create(&dir, 0, &SpatialInstance::new(), WalConfig::default()).unwrap();
+        let mut inst = SpatialInstance::new();
+        for epoch in 1..=3u64 {
+            let name = format!("r{epoch}");
+            let region = Region::rect_from_ints(0, 0, epoch as i64, 1);
+            inst.insert(name.clone(), region.clone());
+            wal.append_batch(
+                &BatchRecord {
+                    epoch,
+                    ops: vec![WalOp::Insert(name.clone(), region)],
+                    changed: vec![name],
+                },
+                &inst,
+            )
+            .unwrap();
+        }
+        let segments = segment_files(&dir);
+        assert_eq!(segments.len(), 1);
+        let boundaries = record_boundaries(&segments[0]);
+        // Header end + one boundary per record.
+        assert_eq!(boundaries.len(), 4);
+        assert_eq!(boundaries[0], SEGMENT_HEADER_LEN as u64);
+        assert_eq!(boundaries[3], fs::metadata(&segments[0]).unwrap().len());
+        drop(wal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,358 @@
+//! The appender: `Wal` owns a database directory, appends one framed
+//! record per committed batch, rotates segments, and takes periodic
+//! checkpoints.
+//!
+//! All mutation goes through one internal mutex, so a `&Wal` is freely
+//! shared across threads. Callers who need append order to agree with
+//! another order (the facade's log-before-publish protocol) serialize
+//! *around* the WAL with their own lock; the WAL's mutex only protects its
+//! file state.
+
+use crate::checkpoint::write_checkpoint;
+use crate::error::WalError;
+use crate::record::BatchRecord;
+use crate::recovery::{remove_stale, scan_dir, Recovery};
+use crate::segment::{encode_segment_header, segment_file_name, SEGMENT_HEADER_LEN};
+use spatial_core::instance::SpatialInstance;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// When appended records are forced to stable storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncPolicy {
+    /// `fsync` on every append: a committed batch survives power loss.
+    PerCommit,
+    /// Group commit: `fsync` at most once per interval; a crash can lose
+    /// up to one interval of committed batches, never consistency.
+    Interval(Duration),
+    /// Never `fsync` (the OS flushes when it pleases). A process crash
+    /// loses nothing — the page cache survives it — only a machine crash
+    /// can drop the un-flushed tail.
+    None,
+}
+
+/// Tunables for a log.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WalConfig {
+    /// Durability of each append. Default: [`SyncPolicy::PerCommit`].
+    pub sync: SyncPolicy,
+    /// Rotate to a new segment once the current one exceeds this many
+    /// bytes. Default: 4 MiB.
+    pub segment_max_bytes: u64,
+    /// Take a checkpoint (and truncate the log behind it) every this many
+    /// appended records. Default: 1024.
+    pub checkpoint_every_records: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            sync: SyncPolicy::PerCommit,
+            segment_max_bytes: 4 << 20,
+            checkpoint_every_records: 1024,
+        }
+    }
+}
+
+impl WalConfig {
+    /// This config with a different sync policy.
+    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// This config with a different checkpoint cadence.
+    pub fn with_checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every_records = records.max(1);
+        self
+    }
+
+    /// This config with a different segment rotation threshold.
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes.max(SEGMENT_HEADER_LEN as u64 + 1);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Appender {
+    file: File,
+    seg_path: PathBuf,
+    seg_bytes: u64,
+    head_epoch: u64,
+    checkpoint_epoch: u64,
+    records_since_checkpoint: u64,
+    last_sync: Instant,
+    unsynced: bool,
+}
+
+/// A write-ahead log rooted at a database directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    cfg: WalConfig,
+    inner: Mutex<Appender>,
+}
+
+fn open_for_append(path: &Path) -> Result<File, WalError> {
+    OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| WalError::io(format!("open {} for append", path.display()), &e))
+}
+
+fn create_segment(dir: &Path, first_epoch: u64) -> Result<(File, PathBuf), WalError> {
+    let path = dir.join(segment_file_name(first_epoch));
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| WalError::io(format!("create segment {}", path.display()), &e))?;
+    file.write_all(&encode_segment_header(first_epoch))
+        .map_err(|e| WalError::io(format!("write header of {}", path.display()), &e))?;
+    Ok((file, path))
+}
+
+impl Wal {
+    /// Initialize a fresh database at `dir` holding `instance` as epoch
+    /// `epoch`: a checkpoint of the instance plus an empty first segment.
+    /// Fails with [`WalError::AlreadyExists`] if the directory already
+    /// holds log files.
+    pub fn create(
+        dir: &Path,
+        epoch: u64,
+        instance: &SpatialInstance,
+        cfg: WalConfig,
+    ) -> Result<Wal, WalError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| WalError::io(format!("create dir {}", dir.display()), &e))?;
+        if scan_dir(dir).is_ok() {
+            return Err(WalError::AlreadyExists { path: dir.display().to_string() });
+        }
+        write_checkpoint(dir, epoch, instance)?;
+        let (file, seg_path) = create_segment(dir, epoch + 1)?;
+        file.sync_all()
+            .map_err(|e| WalError::io(format!("fsync {}", seg_path.display()), &e))?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            cfg,
+            inner: Mutex::new(Appender {
+                file,
+                seg_path,
+                seg_bytes: SEGMENT_HEADER_LEN as u64,
+                head_epoch: epoch,
+                checkpoint_epoch: epoch,
+                records_since_checkpoint: 0,
+                last_sync: Instant::now(),
+                unsynced: false,
+            }),
+        })
+    }
+
+    /// Open an existing database: recover the committed history, truncate
+    /// any torn tail, and position the appender after the last durable
+    /// record. Returns the log plus what was recovered.
+    pub fn open(dir: &Path, cfg: WalConfig) -> Result<(Wal, Recovery), WalError> {
+        let recovery = scan_dir(dir)?;
+        let head_epoch = recovery.head_epoch();
+
+        let (file, seg_path, seg_bytes) = match &recovery.tail {
+            Some(tail) if tail.valid_len >= SEGMENT_HEADER_LEN as u64 => {
+                // Drop the torn tail so the next append starts at a record
+                // boundary.
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&tail.path)
+                    .map_err(|e| {
+                        WalError::io(format!("open {} for truncation", tail.path.display()), &e)
+                    })?;
+                file.set_len(tail.valid_len).map_err(|e| {
+                    WalError::io(format!("truncate {}", tail.path.display()), &e)
+                })?;
+                file.sync_all()
+                    .map_err(|e| WalError::io(format!("fsync {}", tail.path.display()), &e))?;
+                drop(file);
+                let file = open_for_append(&tail.path)?;
+                (file, tail.path.clone(), tail.valid_len)
+            }
+            Some(tail) => {
+                // The final segment died before its header hit the disk;
+                // rebuild it from scratch under the same name.
+                let (file, path) = create_segment(dir, tail.first_epoch)?;
+                (file, path, SEGMENT_HEADER_LEN as u64)
+            }
+            None => {
+                // Crash between checkpoint rename and segment creation (or
+                // the segment was lost): start the post-checkpoint segment.
+                let (file, path) = create_segment(dir, head_epoch + 1)?;
+                (file, path, SEGMENT_HEADER_LEN as u64)
+            }
+        };
+
+        // A fresh open is a natural moment to sweep files an interrupted
+        // checkpoint left behind.
+        remove_stale(dir, recovery.checkpoint_epoch);
+
+        let wal = Wal {
+            dir: dir.to_path_buf(),
+            cfg,
+            inner: Mutex::new(Appender {
+                file,
+                seg_path,
+                seg_bytes,
+                head_epoch,
+                checkpoint_epoch: recovery.checkpoint_epoch,
+                records_since_checkpoint: head_epoch - recovery.checkpoint_epoch,
+                last_sync: Instant::now(),
+                unsynced: false,
+            }),
+        };
+        Ok((wal, recovery))
+    }
+
+    /// Read-only recovery: reconstruct the committed history without
+    /// touching the files (no truncation, no appender). This is what
+    /// point-in-time reopen uses — it must not disturb a live database.
+    pub fn read(dir: &Path) -> Result<Recovery, WalError> {
+        scan_dir(dir)
+    }
+
+    /// Append one committed batch. `instance_after` is the full instance
+    /// *after* the batch — used when this append triggers the periodic
+    /// checkpoint, so the snapshot and truncation happen under the same
+    /// lock acquisition as the append itself.
+    ///
+    /// The record's epoch must be exactly `head + 1`; the log refuses
+    /// out-of-order appends rather than persisting a history recovery
+    /// would reject.
+    pub fn append_batch(
+        &self,
+        record: &BatchRecord,
+        instance_after: &SpatialInstance,
+    ) -> Result<(), WalError> {
+        let mut app = self.lock();
+        if record.epoch != app.head_epoch + 1 {
+            return Err(WalError::Corrupt {
+                segment: app.seg_path.display().to_string(),
+                offset: app.seg_bytes,
+                detail: format!(
+                    "append of epoch {} but the log head is {}",
+                    record.epoch, app.head_epoch
+                ),
+            });
+        }
+        let framed = record.encode_framed();
+        app.file
+            .write_all(&framed)
+            .map_err(|e| WalError::io(format!("append to {}", app.seg_path.display()), &e))?;
+        app.seg_bytes += framed.len() as u64;
+        app.head_epoch = record.epoch;
+        app.records_since_checkpoint += 1;
+        app.unsynced = true;
+
+        match self.cfg.sync {
+            SyncPolicy::PerCommit => self.sync_locked(&mut app)?,
+            SyncPolicy::Interval(every) => {
+                if app.last_sync.elapsed() >= every {
+                    self.sync_locked(&mut app)?;
+                }
+            }
+            SyncPolicy::None => {}
+        }
+
+        if app.records_since_checkpoint >= self.cfg.checkpoint_every_records {
+            self.checkpoint_locked(&mut app, instance_after)?;
+        } else if app.seg_bytes >= self.cfg.segment_max_bytes {
+            self.rotate_locked(&mut app)?;
+        }
+        Ok(())
+    }
+
+    /// Force a checkpoint of `instance` (which must be the instance at the
+    /// current head epoch), truncating the log behind it.
+    pub fn checkpoint(&self, instance: &SpatialInstance) -> Result<(), WalError> {
+        let mut app = self.lock();
+        self.checkpoint_locked(&mut app, instance)
+    }
+
+    /// Flush any unsynced appends to stable storage, regardless of policy.
+    pub fn sync(&self) -> Result<(), WalError> {
+        let mut app = self.lock();
+        if app.unsynced {
+            self.sync_locked(&mut app)?;
+        }
+        Ok(())
+    }
+
+    /// The newest logged epoch.
+    pub fn head_epoch(&self) -> u64 {
+        self.lock().head_epoch
+    }
+
+    /// The newest checkpoint's epoch (the oldest recoverable one).
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.lock().checkpoint_epoch
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Appender> {
+        // The appender holds no invariant a panicking thread could break
+        // mid-way that the next append would silently compound: a poisoned
+        // append left, at worst, a torn tail — exactly what recovery
+        // tolerates — so we continue rather than propagate the poison.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn sync_locked(&self, app: &mut Appender) -> Result<(), WalError> {
+        app.file
+            .sync_all()
+            .map_err(|e| WalError::io(format!("fsync {}", app.seg_path.display()), &e))?;
+        app.last_sync = Instant::now();
+        app.unsynced = false;
+        Ok(())
+    }
+
+    fn rotate_locked(&self, app: &mut Appender) -> Result<(), WalError> {
+        // Records in the retiring segment must be durable before the log
+        // moves on; rotation is rare, so this sync is cheap in aggregate.
+        self.sync_locked(app)?;
+        let (file, path) = create_segment(&self.dir, app.head_epoch + 1)?;
+        app.file = file;
+        app.seg_path = path;
+        app.seg_bytes = SEGMENT_HEADER_LEN as u64;
+        Ok(())
+    }
+
+    fn checkpoint_locked(
+        &self,
+        app: &mut Appender,
+        instance: &SpatialInstance,
+    ) -> Result<(), WalError> {
+        write_checkpoint(&self.dir, app.head_epoch, instance)?;
+        app.checkpoint_epoch = app.head_epoch;
+        app.records_since_checkpoint = 0;
+        self.rotate_locked(app)?;
+        remove_stale(&self.dir, app.checkpoint_epoch);
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best-effort flush of an un-synced tail on clean shutdown; a
+        // failure here is indistinguishable from a crash, which recovery
+        // already handles.
+        let _ = self.sync();
+    }
+}

@@ -22,7 +22,8 @@
 #     the script (exit non-zero); the latency metrics `traffic/read/p99_ns`
 #     and `epoch_publish/chain/read_under_write_p99_ns` are tracked too,
 #     with a wider >150% threshold (open-loop tail latencies are noisier
-#     than median ns/iter);
+#     than median ns/iter), as is `wal_commit/percommit/p50_ns` (fsync
+#     latency varies with the host's storage stack);
 #   * on multi-core hosts, snapshot acquisition under a continuously
 #     committing writer must have a lower p99 on the epoch chain than on
 #     the legacy RwLock cache (skipped on a single core, where the
@@ -41,7 +42,11 @@
 #   * the semi-join planner must beat the cartesian-product enumerator by
 #     >10x on the anchored 2-variable open query at the largest size;
 #   * the crossing-density seam model's event skew must not exceed the
-#     endpoint-quantile baseline's at the largest strip-sweep size.
+#     endpoint-quantile baseline's at the largest strip-sweep size;
+#   * durability must be affordable: the per-commit-fsync commit p50 must
+#     stay within 20x of the in-memory commit p50 at 256 regions, and the
+#     interval (group-commit) policy must recover most of that cost
+#     (beat the per-commit p50, or land within 3x of in-memory).
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -74,7 +79,8 @@ strip_json="$(mktemp)"
 planner_json="$(mktemp)"
 traffic_json="$(mktemp)"
 epoch_json="$(mktemp)"
-trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" "${strip_json}" "${planner_json}" "${traffic_json}" "${epoch_json}" ${baseline:+"${baseline}"}' EXIT
+wal_json="$(mktemp)"
+trap 'rm -f "${scaling_json}" "${incremental_json}" "${assembly_json}" "${strip_json}" "${planner_json}" "${traffic_json}" "${epoch_json}" "${wal_json}" ${baseline:+"${baseline}"}' EXIT
 
 echo "running splitting_sweep_vs_naive scaling group" >&2
 BENCH_JSON="${scaling_json}" cargo bench -p bench --bench scaling -- splitting_sweep_vs_naive
@@ -90,6 +96,8 @@ echo "running open-loop traffic harness" >&2
 BENCH_JSON="${traffic_json}" cargo bench -p bench --bench traffic
 echo "running epoch_publish group (chain vs rwlock snapshot publication)" >&2
 BENCH_JSON="${epoch_json}" cargo bench -p bench --bench epoch_publish
+echo "running wal_commit group (durable commit latency per sync policy)" >&2
+BENCH_JSON="${wal_json}" cargo bench -p bench --bench wal
 
 # Merge the JSON arrays (each file is one record per line between the
 # bracket lines, so a line-level merge is exact).
@@ -103,6 +111,7 @@ BENCH_JSON="${epoch_json}" cargo bench -p bench --bench epoch_publish
         sed -e '1d' -e '$d' "${planner_json}"
         sed -e '1d' -e '$d' "${traffic_json}"
         sed -e '1d' -e '$d' "${epoch_json}"
+        sed -e '1d' -e '$d' "${wal_json}"
     } | sed -e 's/},\{0,1\}$/},/' -e '$ s/},$/}/'
     echo "]"
 } > "${abs_out}"
@@ -326,12 +335,37 @@ else
     echo "single-core host (${cores}): skipping the chain-beats-lock gate (writer and readers timeshare one CPU)" >&2
 fi
 
+# Sanity 11: durability is affordable. The per-commit-fsync policy must
+# keep its commit p50 within 20x of the in-memory commit p50 at 256
+# regions, and the interval (group-commit) policy must recover most of the
+# fsync cost: beat the per-commit p50 outright, or land within 3x of the
+# in-memory p50 (on hosts whose storage stack makes fsync nearly free, the
+# two policies are statistically tied, which the second arm accepts).
+inmem_p50=$(extract_value "${out}" "wal_commit/inmem/p50_ns")
+percommit_p50=$(extract_value "${out}" "wal_commit/percommit/p50_ns")
+interval_p50=$(extract_value "${out}" "wal_commit/interval/p50_ns")
+if [ -z "${inmem_p50}" ] || [ -z "${percommit_p50}" ] || [ -z "${interval_p50}" ]; then
+    echo "error: wal_commit recorded no commit percentiles" >&2
+    exit 1
+fi
+overhead=$(awk -v i="${inmem_p50}" -v p="${percommit_p50}" 'BEGIN { printf "%.2f", p / i }')
+echo "durable commit p50: inmem ${inmem_p50} ns, percommit ${percommit_p50} ns (${overhead}x), interval ${interval_p50} ns" >&2
+if [ "$(awk -v i="${inmem_p50}" -v p="${percommit_p50}" 'BEGIN { print (p < i * 20) ? "yes" : "no" }')" != "yes" ]; then
+    echo "error: per-commit-fsync commit p50 exceeds 20x the in-memory commit p50" >&2
+    exit 1
+fi
+if [ "$(awk -v i="${inmem_p50}" -v p="${percommit_p50}" -v g="${interval_p50}"         'BEGIN { print (g < p || g < i * 3) ? "yes" : "no" }')" != "yes" ]; then
+    echo "error: the interval (group-commit) policy recovered none of the fsync cost" >&2
+    exit 1
+fi
+
 # Perf trajectory: per-benchmark deltas against the committed snapshot; a
 # >25% slowdown in any sweep/*, assemble_view_vs_copy/view/*,
 # strip_sweep/serial/*, phase_build/serial/* or planner_bindings/planned/*
-# entry fails. The read-tail latency metrics traffic/read/p99_ns and
-# epoch_publish/chain/read_under_write_p99_ns are tracked with a wider
-# >150% threshold (open-loop p99s are far noisier than median ns/iter).
+# entry fails. The latency metrics traffic/read/p99_ns,
+# epoch_publish/chain/read_under_write_p99_ns and wal_commit/percommit/p50_ns
+# are tracked with a wider >150% threshold (open-loop p99s and fsync
+# latencies are far noisier than median ns/iter).
 # Other work-metric records ({id, value}) are informational and not gated
 # here (the planner's assignments-tried gate above covers them).
 if [ -n "${baseline}" ]; then
@@ -347,7 +381,8 @@ if [ -n "${baseline}" ]; then
                 # Latency metrics gated on the trajectory ride the same
                 # parse: their records carry "value" instead of
                 # "ns_per_iter".
-                if ((id == "traffic/read/p99_ns" || id == "epoch_publish/chain/read_under_write_p99_ns") \
+                if ((id == "traffic/read/p99_ns" || id == "epoch_publish/chain/read_under_write_p99_ns" \
+                     || id == "wal_commit/percommit/p50_ns") \
                     && match(line, /"value": [0-9.]*/)) {
                     ns = substr(line, RSTART + 9, RLENGTH - 9)
                     return id SUBSEP ns
@@ -367,7 +402,8 @@ if [ -n "${baseline}" ]; then
                 gated = index(id, "/sweep/") > 0 || index(id, "assemble_view_vs_copy/view/") > 0 \
                     || index(id, "strip_sweep/serial/") > 0 || index(id, "phase_build/serial/") > 0 \
                     || index(id, "planner_bindings/planned/") > 0
-                lat_gated = id == "traffic/read/p99_ns" || id == "epoch_publish/chain/read_under_write_p99_ns"
+                lat_gated = id == "traffic/read/p99_ns" || id == "epoch_publish/chain/read_under_write_p99_ns" \
+                    || id == "wal_commit/percommit/p50_ns"
                 if (gated && delta > 25) { flag = "  REGRESSION"; regressions++ }
                 if (lat_gated && delta > 150) { flag = "  REGRESSION"; regressions++ }
                 printf "  %-55s %14.1f ns  (%+.1f%%)%s\n", id, new[id], delta, flag

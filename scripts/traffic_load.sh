@@ -9,7 +9,7 @@
 # that falls behind shows the backlog as queueing delay instead of
 # silently throttling the offered load.
 #
-# Usage: scripts/traffic_load.sh [clients [rate [ops [mix [map]]]]]
+# Usage: scripts/traffic_load.sh [clients [rate [ops [mix [map [wal [sync]]]]]]]
 #
 #   clients  concurrent client threads      (default: min(cores, 8), >= 2)
 #   rate     ops/second offered per client  (default: 200)
@@ -24,6 +24,16 @@
 #                                            regions; clustered4096 is 64
 #                                            clusters x 64 regions = 4096
 #                                            base regions)
+#   wal      durability                     (off | on; default: off. `on`
+#                                            commits through a write-ahead
+#                                            log in a throwaway temp dir,
+#                                            so the txn-class p50/p99
+#                                            include the append + sync)
+#   sync     wal sync policy                (percommit | interval; default:
+#                                            percommit, an fsync inside
+#                                            every commit; interval group-
+#                                            commits with at most one fsync
+#                                            per 5 ms window)
 #
 # The backend follows TOPODB_EPOCH_CHAIN (chain by default; set `off` to
 # drive the legacy RwLock cache for comparison).
@@ -49,6 +59,8 @@ env_args=()
 [ "$#" -ge 3 ] && env_args+=("TRAFFIC_OPS=$3")
 [ "$#" -ge 4 ] && env_args+=("TRAFFIC_MIX=$4")
 [ "$#" -ge 5 ] && env_args+=("TRAFFIC_MAP=$5")
+[ "$#" -ge 6 ] && env_args+=("TRAFFIC_WAL=$6")
+[ "$#" -ge 7 ] && env_args+=("TRAFFIC_SYNC=$7")
 
 env "${env_args[@]+"${env_args[@]}"}" BENCH_JSON="${abs_out}" \
     cargo bench -p bench --bench traffic
