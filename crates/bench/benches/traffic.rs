@@ -54,17 +54,30 @@
 //! an fsync inside every commit) or `interval` (group commit, at most one
 //! fsync per 5 ms window).
 //!
+//! `TRAFFIC_FAULT_RATE=<0.0..1.0>` injects storage chaos into the run:
+//! the database moves onto the in-memory fault-injecting [`wal::SimFs`]
+//! (implying a durable, write-ahead-logged run), every log write fails
+//! transiently (`EINTR`-style) with the given probability, and commits go
+//! through [`topodb::Transaction::try_commit`] so the retry/backoff
+//! machinery — not a panic — absorbs the faults. The txn percentiles then
+//! include retry backoff, and the recorded `traffic/wal/*` metrics report
+//! what the retry machinery actually did.
+//!
 //! Knobs: `TRAFFIC_CLIENTS` (threads), `TRAFFIC_RATE` (ops/s per client),
 //! `TRAFFIC_OPS` (ops per client), `TRAFFIC_MIX`, `TRAFFIC_MAP`,
-//! `TRAFFIC_WAL`, `TRAFFIC_SYNC`. `--test` smoke mode shrinks the volume
-//! knobs so CI merely exercises every path once per class.
+//! `TRAFFIC_WAL`, `TRAFFIC_SYNC`, `TRAFFIC_FAULT_RATE`. `--test` smoke
+//! mode shrinks the volume knobs so CI merely exercises every path once
+//! per class.
 //!
 //! Recorded metrics (`{id, value}` records in `BENCH_JSON`, merged into
 //! `BENCH_arrangement.json` by `scripts/bench_snapshot.sh`):
 //! `traffic/<class>/p50_ns`, `traffic/<class>/p99_ns` and
 //! `traffic/<class>/ops` for each class in `mixed`/`read`/`query`/`txn`,
 //! plus `traffic/offered_ops_per_s`, `traffic/achieved_ops_per_s` and
-//! `traffic/durable` (1 when the run went through a write-ahead log).
+//! `traffic/durable` (1 when the run went through a write-ahead log). A
+//! faulted run additionally records `traffic/fault_rate`,
+//! `traffic/wal/transient_retries`, `traffic/wal/retries_exhausted`,
+//! `traffic/wal/degraded` and `traffic/wal/degraded_rejections`.
 
 use criterion::{criterion_group, criterion_main, record_metric, Criterion};
 use rand::rngs::StdRng;
@@ -116,6 +129,17 @@ fn wal_sync() -> (SyncPolicy, &'static str) {
         "interval" | "group" => (SyncPolicy::Interval(Duration::from_millis(5)), "interval"),
         _ => (SyncPolicy::PerCommit, "percommit"),
     }
+}
+
+/// Probability (0.0–1.0) that any individual log write fails transiently,
+/// from `TRAFFIC_FAULT_RATE`. Non-zero implies a durable run on the
+/// fault-injecting in-memory backend.
+fn fault_rate() -> f64 {
+    std::env::var("TRAFFIC_FAULT_RATE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|r| (0.0..=1.0).contains(r))
+        .unwrap_or(0.0)
 }
 
 /// The throwaway log directory of a `TRAFFIC_WAL=on` run, deleted on drop.
@@ -187,7 +211,11 @@ fn run_client(
                 txn.insert(name.clone(), datagen::cluster_rect(&mut rng, cluster, clusters));
                 inserted.push(name);
             }
-            txn.commit();
+            // Under TRAFFIC_FAULT_RATE the commit may fail typed (retries
+            // exhausted → degraded, then fail-fast rejections); the
+            // latency of the failure path is as real as the success path,
+            // and the health counters report what happened.
+            let _ = txn.try_commit();
             TXN
         };
         samples.push((class, (start.elapsed() - scheduled).as_nanos() as u64));
@@ -208,8 +236,23 @@ fn traffic(_c: &mut Criterion) {
 
     let map = datagen::clustered_map(clusters, per_cluster, 4242);
     let (sync, sync_label) = wal_sync();
+    let faults = fault_rate();
     let mut _log_dir = None;
-    let db = if wal_enabled() {
+    let db = if faults > 0.0 {
+        // Chaos run: the log lives on an in-memory SimFs whose writes fail
+        // transiently at the configured rate. Deterministic in the seed,
+        // nothing on disk to clean up.
+        use topodb::wal::{FaultPlan, SimFs};
+        let sim = SimFs::new();
+        let opts = topodb::StorageOptions::from_wal_config(WalConfig::default().with_sync(sync))
+            .with_vfs(std::sync::Arc::new(sim.clone()));
+        let db = TopoDatabase::create_with_storage("/traffic-wal", map, opts)
+            .expect("create durable traffic database on SimFs");
+        // Arm the faults only once the log exists: creation is setup, the
+        // measured run is what the chaos targets.
+        sim.set_plan(FaultPlan::none().transient_write_rate(faults, 0x7af1c));
+        db
+    } else if wal_enabled() {
         let dir = std::env::temp_dir().join(format!("traffic-wal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = WalConfig::default().with_sync(sync);
@@ -236,7 +279,13 @@ fn traffic(_c: &mut Criterion) {
          (offered {} ops/s total, {mix_label} mix, {map_label} map, {} backend, {}{})",
         clients * rate,
         if db.epoch_chain_enabled() { "epoch-chain" } else { "legacy rwlock" },
-        if db.durable() { format!("wal {sync_label}") } else { "no wal".to_string() },
+        if faults > 0.0 {
+            format!("simfs wal {sync_label}, fault rate {faults}")
+        } else if db.durable() {
+            format!("wal {sync_label}")
+        } else {
+            "no wal".to_string()
+        },
         if smoke { ", smoke mode" } else { "" }
     );
 
@@ -277,6 +326,23 @@ fn traffic(_c: &mut Criterion) {
         record_metric(format!("traffic/{}/ops", CLASS_NAMES[class]), lat.len() as f64);
         record_metric(format!("traffic/{}/p50_ns", CLASS_NAMES[class]), percentile(lat, 0.50) as f64);
         record_metric(format!("traffic/{}/p99_ns", CLASS_NAMES[class]), percentile(lat, 0.99) as f64);
+    }
+    if faults > 0.0 {
+        // What the retry machinery did under the injected fault rate: how
+        // many transients it absorbed, and whether any commit exhausted
+        // its budget (degrading the database for the rest of the run).
+        let h = db.health();
+        record_metric("traffic/fault_rate", faults);
+        record_metric("traffic/wal/transient_retries", h.transient_retries as f64);
+        record_metric("traffic/wal/retries_exhausted", h.retries_exhausted as f64);
+        record_metric("traffic/wal/degraded", if h.degraded.is_some() { 1.0 } else { 0.0 });
+        record_metric("traffic/wal/degraded_rejections", h.degraded_commit_rejections as f64);
+        eprintln!(
+            "traffic: fault rate {faults}: {} transient retries, {} exhausted, degraded: {}",
+            h.transient_retries,
+            h.retries_exhausted,
+            h.degraded.is_some()
+        );
     }
     if !smoke {
         assert!(

@@ -1,19 +1,136 @@
 //! The facade's side of the durability protocol: attaching a write-ahead
-//! log to a database, logging each commit *before* its publish, and
-//! replaying a log back into an instance.
+//! log to a database, logging each commit *before* its publish (with
+//! bounded retries and read-only degradation on unsurvivable failures),
+//! and replaying a log back into an instance.
 //!
 //! The ordering protocol lives here and in `epoch.rs` (stage 3 of the
 //! commit pipeline); the on-disk format, checkpoints and torn-tail
 //! recovery live in the `wal` crate. See the "Durability model" section of
 //! the crate docs for the full argument.
 
-use crate::error::TopoDbError;
+use crate::error::{ErrorClass, TopoDbError};
 use crate::transaction::Op;
 use spatial_core::instance::SpatialInstance;
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use wal::{BatchRecord, SyncPolicy, Wal, WalError, WalOp};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+use wal::{BatchRecord, SyncPolicy, Vfs, Wal, WalConfig, WalError, WalOp};
+
+/// A source of delay for retry backoff.
+///
+/// The default ([`SystemClock`]) really sleeps; tests inject a recording
+/// clock so backoff policy is assertable without wall-clock time.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Block the calling thread for (about) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The real clock: `std::thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Bounded retry-with-backoff for transient storage failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (minimum 1).
+    /// Default: 4.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, doubling per subsequent retry.
+    /// Default: 1 ms.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff: Duration::from_millis(1) }
+    }
+}
+
+impl RetryPolicy {
+    /// This policy with a different attempt budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// This policy with a different base backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// Everything configurable about a durable database's storage: the log
+/// tunables, the retry policy, the storage backend, and the backoff
+/// clock.
+#[derive(Clone, Debug)]
+pub struct StorageOptions {
+    /// Write-ahead log tunables (sync policy, rotation, checkpoint
+    /// cadence).
+    pub wal: WalConfig,
+    /// Retry budget and backoff for transient storage failures.
+    pub retry: RetryPolicy,
+    /// The storage backend. Default: the real filesystem.
+    pub vfs: Arc<dyn Vfs>,
+    /// The clock used for retry backoff. Default: really sleeps.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for StorageOptions {
+    fn default() -> Self {
+        StorageOptions {
+            wal: WalConfig::default(),
+            retry: RetryPolicy::default(),
+            vfs: wal::RealFs::shared(),
+            clock: Arc::new(SystemClock),
+        }
+    }
+}
+
+impl StorageOptions {
+    /// Default options with a different log config (the shape the older
+    /// `*_with_config` constructors take).
+    pub fn from_wal_config(wal: WalConfig) -> Self {
+        StorageOptions { wal, ..StorageOptions::default() }
+    }
+
+    /// This set of options on a different storage backend.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// This set of options with a different retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// This set of options with a different backoff clock.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+}
+
+/// Counters for the retry/degradation machinery, surfaced through
+/// [`crate::Health`].
+#[derive(Debug, Default)]
+pub(crate) struct DurabilityCounters {
+    pub(crate) transient_retries: AtomicU64,
+    pub(crate) retries_exhausted: AtomicU64,
+    pub(crate) degraded_rejections: AtomicU64,
+    pub(crate) maintenance_errors: AtomicU64,
+    pub(crate) degrade_events: AtomicU64,
+}
 
 /// A database's attachment to its write-ahead log.
 ///
@@ -29,6 +146,12 @@ pub(crate) struct Durability {
     // before an ephemeral guard (if any) deletes the directory.
     wal: Wal,
     pub(crate) publish_lock: Mutex<()>,
+    retry: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    /// Set exactly once, by whichever failure first proved storage
+    /// unsurvivable; every later commit fails fast with this root cause.
+    degraded: OnceLock<WalError>,
+    pub(crate) counters: DurabilityCounters,
     _ephemeral: Option<EphemeralDir>,
 }
 
@@ -43,23 +166,89 @@ impl Drop for EphemeralDir {
 
 impl Durability {
     pub(crate) fn new(wal: Wal) -> Durability {
-        Durability { wal, publish_lock: Mutex::new(()), _ephemeral: None }
+        Durability::with_policy(wal, RetryPolicy::default(), Arc::new(SystemClock))
+    }
+
+    pub(crate) fn with_policy(wal: Wal, retry: RetryPolicy, clock: Arc<dyn Clock>) -> Durability {
+        Durability {
+            wal,
+            publish_lock: Mutex::new(()),
+            retry,
+            clock,
+            degraded: OnceLock::new(),
+            counters: DurabilityCounters::default(),
+            _ephemeral: None,
+        }
+    }
+
+    /// If the database has degraded to read-only, the root cause.
+    pub(crate) fn degraded_cause(&self) -> Option<WalError> {
+        self.degraded.get().cloned()
+    }
+
+    /// Record a commit rejected because the database was already degraded,
+    /// and build the typed error for it.
+    pub(crate) fn reject_degraded(&self, cause: WalError) -> TopoDbError {
+        self.counters.degraded_rejections.fetch_add(1, Ordering::Relaxed);
+        TopoDbError::Degraded(cause)
+    }
+
+    /// Transition to read-only degraded mode (idempotent: only the first
+    /// cause is kept as the root cause) and return the typed error.
+    fn degrade(&self, cause: WalError) -> TopoDbError {
+        if self.degraded.set(cause).is_ok() {
+            self.counters.degrade_events.fetch_add(1, Ordering::Relaxed);
+        }
+        TopoDbError::Degraded(self.degraded.get().expect("just set").clone())
+    }
+
+    /// Run `op`, retrying transient failures per the policy (with
+    /// exponentially-backed-off sleeps on the injected clock). Any
+    /// unsurvivable outcome — a fatal or corrupting error, or a transient
+    /// one that exhausts the attempt budget — degrades the database and
+    /// returns the typed [`TopoDbError::Degraded`]. Fails fast if already
+    /// degraded.
+    fn with_retry<T>(&self, mut op: impl FnMut() -> Result<T, WalError>) -> Result<T, TopoDbError> {
+        if let Some(cause) = self.degraded_cause() {
+            return Err(self.reject_degraded(cause));
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => match ErrorClass::of(&e) {
+                    ErrorClass::Transient if attempt + 1 < self.retry.max_attempts.max(1) => {
+                        self.counters.transient_retries.fetch_add(1, Ordering::Relaxed);
+                        self.clock.sleep(self.retry.backoff.saturating_mul(1 << attempt.min(10)));
+                        attempt += 1;
+                    }
+                    class => {
+                        if class == ErrorClass::Transient {
+                            self.counters.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Err(self.degrade(e));
+                    }
+                },
+            }
+        }
     }
 
     /// Append one committed batch. Called with the publish serialized (the
     /// epoch chain holds `publish_lock`; the legacy backend holds its cache
     /// write lock), so records arrive in exactly publish order.
     ///
-    /// Durability failures panic: `commit()` promises an epoch number, and
-    /// continuing to accept writes a crash would silently lose is worse
-    /// than stopping. See "Durability model" in the crate docs.
+    /// `Ok` means the record is durably framed in the log (to the
+    /// configured sync policy) — the commit may be acknowledged. `Err` is
+    /// always [`TopoDbError::Degraded`]: transient failures were retried
+    /// per the policy, and whatever remains has degraded the database to
+    /// read-only. The commit must not publish.
     pub(crate) fn log_batch(
         &self,
         epoch: u64,
         ops: &[Op],
         changed: &[String],
         instance_after: &SpatialInstance,
-    ) {
+    ) -> Result<(), TopoDbError> {
         let record = BatchRecord {
             epoch,
             ops: ops
@@ -71,9 +260,25 @@ impl Durability {
                 .collect(),
             changed: changed.to_vec(),
         };
-        if let Err(e) = self.wal.append_batch(&record, instance_after) {
-            panic!("write-ahead log append failed; refusing to commit undurable epochs: {e}");
+        let outcome = self.with_retry(|| self.wal.append_batch(&record, instance_after))?;
+        if let Some(m) = outcome.maintenance {
+            // The record is durable, so the commit stands; but failed
+            // housekeeping (checkpoint/rotation) means the log may refuse
+            // the *next* append. Count it, and degrade proactively on
+            // anything non-transient so later commits fail typed instead
+            // of rediscovering the broken appender.
+            self.counters.maintenance_errors.fetch_add(1, Ordering::Relaxed);
+            if ErrorClass::of(&m) != ErrorClass::Transient {
+                let _ = self.degrade(m);
+            }
         }
+        Ok(())
+    }
+
+    /// Force a checkpoint, with the same retry/degradation discipline as
+    /// appends.
+    pub(crate) fn checkpoint(&self, instance: &SpatialInstance) -> Result<(), TopoDbError> {
+        self.with_retry(|| self.wal.checkpoint(instance))
     }
 
     /// The underlying log (benches force checkpoints/syncs through this).
@@ -146,24 +351,41 @@ pub(crate) fn wal_sync_by_env() -> SyncPolicy {
     }
 }
 
+/// Storage backend for environment-attached logs: `TOPODB_VFS=sim` runs
+/// them on a fresh in-memory [`wal::SimFs`] per database (hermetic, no
+/// temp files); anything else (or unset) uses the real filesystem.
+pub(crate) fn sim_vfs_by_env() -> bool {
+    match std::env::var("TOPODB_VFS") {
+        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "sim" | "simfs" | "mem"),
+        Err(_) => false,
+    }
+}
+
 /// Create the throwaway env-attached log for `instance`, or `None` if
 /// creation fails (the env attach is best-effort test plumbing — a
 /// read-only temp filesystem should not take the whole suite down with
 /// it).
 pub(crate) fn ephemeral(instance: &SpatialInstance) -> Option<Durability> {
     static SEQ: AtomicU64 = AtomicU64::new(0);
+    let cfg = wal::WalConfig::default().with_sync(wal_sync_by_env());
+    if sim_vfs_by_env() {
+        // A fresh in-memory filesystem per database: nothing to clean up.
+        let sim: Arc<dyn Vfs> = Arc::new(wal::SimFs::new());
+        let wal =
+            Wal::create_with_vfs(sim, std::path::Path::new("/wal"), 0, instance, cfg).ok()?;
+        return Some(Durability::new(wal));
+    }
     let dir = std::env::temp_dir().join(format!(
         "topodb-wal-{}-{}",
         std::process::id(),
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    let cfg = wal::WalConfig::default().with_sync(wal_sync_by_env());
     match Wal::create(&dir, 0, instance, cfg) {
-        Ok(w) => Some(Durability {
-            wal: w,
-            publish_lock: Mutex::new(()),
-            _ephemeral: Some(EphemeralDir(dir)),
-        }),
+        Ok(w) => {
+            let mut d = Durability::new(w);
+            d._ephemeral = Some(EphemeralDir(dir));
+            Some(d)
+        }
         Err(_) => None,
     }
 }

@@ -252,7 +252,9 @@ impl EpochChain {
 
     /// Commit a batch: the three-stage pipeline described in the module
     /// docs. Returns the epoch the batch published (or the base epoch, if
-    /// the batch changed nothing).
+    /// the batch changed nothing). Fails only on durability errors
+    /// ([`crate::TopoDbError::Degraded`]): the intent deregisters, the
+    /// head is untouched, and readers never observe the attempt.
     ///
     /// With `durability` attached, stage 3 runs the **log-before-publish**
     /// protocol: the publish serializes on the WAL publish lock, re-checks
@@ -269,7 +271,7 @@ impl EpochChain {
         ops: Vec<Op>,
         counters: &BuildCounters,
         durability: Option<&crate::durability::Durability>,
-    ) -> CommitSummary {
+    ) -> Result<CommitSummary, crate::TopoDbError> {
         // Stage 1 — write intent: adopt the head as base and register it,
         // both under the writers mutex, so the chain stays walkable down to
         // this base however many commits land first.
@@ -284,7 +286,7 @@ impl EpochChain {
         // Stage 2 — build outside any lock.
         let (next_instance, mut changed) = apply_ops(&base.instance, &ops);
         if changed.is_empty() {
-            return CommitSummary { epoch: base.epoch, changed };
+            return Ok(CommitSummary { epoch: base.epoch, changed });
         }
         let mut next_instance = Arc::new(next_instance);
         let mut changed_set: BTreeSet<String> = changed.iter().cloned().collect();
@@ -327,7 +329,11 @@ impl EpochChain {
                     // or skip together.
                     let _publishing = lock(&d.publish_lock);
                     if Arc::ptr_eq(&self.head.load(), &current_base) {
-                        d.log_batch(next.epoch, &ops, &changed, &next_instance);
+                        // A durability failure aborts the commit cleanly:
+                        // nothing was published, the intent guard
+                        // deregisters on drop, and readers stay on the old
+                        // head.
+                        d.log_batch(next.epoch, &ops, &changed, &next_instance)?;
                         self.head
                             .compare_exchange(&current_base, Arc::clone(&next))
                             .expect("head swap serialized under the WAL publish lock");
@@ -341,7 +347,7 @@ impl EpochChain {
                 true => {
                     drop(intent);
                     self.prune(&next);
-                    return CommitSummary { epoch: next.epoch, changed };
+                    return Ok(CommitSummary { epoch: next.epoch, changed });
                 }
                 false => {
                     counters.publish_conflicts.fetch_add(1, Ordering::Relaxed);
@@ -363,7 +369,7 @@ impl EpochChain {
                     let (rebased_instance, rebased_changed) =
                         apply_ops(&new_head.instance, &ops);
                     if rebased_changed.is_empty() {
-                        return CommitSummary { epoch: new_head.epoch, changed: rebased_changed };
+                        return Ok(CommitSummary { epoch: new_head.epoch, changed: rebased_changed });
                     }
                     next_instance = Arc::new(rebased_instance);
                     changed = rebased_changed;

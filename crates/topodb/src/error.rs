@@ -19,10 +19,46 @@ pub enum TopoDbError {
     /// Query evaluation failed.
     Eval(String),
     /// The durability layer failed: opening, recovering, checkpointing or
-    /// validating a write-ahead log. (A failed *append* on a live commit
-    /// panics instead — see the "Durability model" notes on
-    /// [`crate::TopoDatabase`].)
+    /// validating a write-ahead log, or an append that the retry policy
+    /// could still classify as survivable. (An append failure that is
+    /// *not* survivable degrades the database and surfaces as
+    /// [`TopoDbError::Degraded`] instead — see the "Durability model"
+    /// notes on [`crate::TopoDatabase`].)
     Durability(wal::WalError),
+    /// The database is in **read-only degraded mode**: a fatal storage
+    /// failure (or retry exhaustion on a transient one) was encountered,
+    /// commits are rejected fast, and snapshots/queries keep serving the
+    /// last published epoch. Carries the root cause that triggered
+    /// degradation.
+    Degraded(wal::WalError),
+}
+
+/// The facade's taxonomy of write-ahead-log failures — what the retry
+/// policy keys on. See the "Durability model" notes on
+/// [`crate::TopoDatabase`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorClass {
+    /// `EINTR`-style backend hiccups: the operation did not take effect
+    /// and is retried with backoff, up to the configured attempt budget.
+    Transient,
+    /// `ENOSPC`, device failures, failed fsyncs, misuse errors: retrying
+    /// cannot help. The database degrades to read-only.
+    Fatal,
+    /// Bytes (or an append ordering) that no crash of our own writer can
+    /// produce. Never retried; the database degrades to read-only and the
+    /// root cause names the file and offset.
+    Corrupting,
+}
+
+impl ErrorClass {
+    /// Classify a [`wal::WalError`].
+    pub fn of(err: &wal::WalError) -> ErrorClass {
+        match err {
+            e if e.is_transient() => ErrorClass::Transient,
+            wal::WalError::Corrupt { .. } => ErrorClass::Corrupting,
+            _ => ErrorClass::Fatal,
+        }
+    }
 }
 
 impl TopoDbError {
@@ -49,6 +85,11 @@ impl fmt::Display for TopoDbError {
             }
             TopoDbError::Eval(m) => write!(f, "query evaluation error: {m}"),
             TopoDbError::Durability(e) => write!(f, "durability error: {e}"),
+            TopoDbError::Degraded(e) => write!(
+                f,
+                "database is degraded (read-only): commits are rejected, reads keep \
+                 serving the last published epoch; root cause: {e}"
+            ),
         }
     }
 }

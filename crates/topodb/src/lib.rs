@@ -80,7 +80,8 @@ mod error;
 mod snapshot;
 mod transaction;
 
-pub use error::TopoDbError;
+pub use durability::{Clock, RetryPolicy, StorageOptions, SystemClock};
+pub use error::{ErrorClass, TopoDbError};
 pub use query::{PreparedQuery, QueryOutput};
 pub use snapshot::Snapshot;
 pub use transaction::{CommitSummary, Transaction};
@@ -232,9 +233,31 @@ use transaction::Op;
 ///   commit); `Interval` group-commits, fsyncing at most once per window
 ///   (bounded loss under power failure, near in-memory commit latency);
 ///   `None` never fsyncs (a process crash loses nothing — the page cache
-///   survives it — only a machine crash can drop the tail). A failed
-///   append **panics**: continuing to accept writes a crash would
-///   silently lose is worse than stopping.
+///   survives it — only a machine crash can drop the tail).
+/// * **Failure taxonomy and retry policy.** A failed append is classified
+///   ([`ErrorClass`]) before anything else happens:
+///   *transient* failures (`EINTR`-style interruptions, including a torn
+///   append — the log trims its tail back to the last record boundary
+///   before the retry touches the file) are retried in place with
+///   exponential backoff, up to [`RetryPolicy::max_attempts`] attempts
+///   total (default 4, base backoff 1 ms, doubling; the backoff sleeps on
+///   an injectable [`Clock`]); *fatal* failures (`ENOSPC`, failed fsyncs —
+///   which may have dropped the unsynced tail, so they are never retried —
+///   device errors) and *corrupting* ones (checksum-impossible bytes) are
+///   not retried at all. A commit whose append ultimately fails publishes
+///   nothing: readers stay on the previous epoch, exactly the state a
+///   reopen of the log would recover.
+/// * **Read-only degraded mode.** The first unsurvivable failure — fatal,
+///   corrupting, or a transient one that exhausted its attempt budget —
+///   transitions the database to **read-only degraded mode**, permanently
+///   for the life of the handle. Snapshots and queries keep serving the
+///   last published epoch (reads never touch the log); every subsequent
+///   commit or checkpoint fails fast with [`TopoDbError::Degraded`]
+///   carrying the *root cause* (the first failure, not the latest
+///   rejection). Use [`Transaction::try_commit`] to observe the typed
+///   error; the panicking [`Transaction::commit`] convenience wrapper is
+///   unchanged for in-memory use. [`TopoDatabase::health`] reports the
+///   degraded flag, its root cause, and the retry/degradation counters.
 /// * **Checkpoint/truncation invariant.** Periodically the full instance
 ///   is snapshotted into a checkpoint file (temp file + atomic rename),
 ///   the log rotates to a fresh segment, and all older segments and
@@ -251,14 +274,66 @@ use transaction::Op;
 ///   corruption (including a checksum failure mid-log) fails the open
 ///   loudly with the offending file and byte offset.
 ///
+/// The storage backend itself is pluggable ([`wal::Vfs`]):
+/// [`TopoDatabase::create_with_storage`] / [`TopoDatabase::open_with_storage`]
+/// take [`StorageOptions`] bundling the log config, the retry policy, the
+/// backend (default: the real filesystem) and the backoff clock. The
+/// deterministic in-memory [`wal::SimFs`] with a seeded [`wal::FaultPlan`]
+/// is how the chaos suite drives every failure path above on demand.
+///
 /// Setting `TOPODB_WAL=on` attaches a throwaway temp-dir log (sync policy
-/// from `TOPODB_WAL_SYNC`, default `none`) to every database constructed
-/// without an explicit path — CI runs the entire suite that way to keep
-/// the logging protocol in every code path's loop.
+/// from `TOPODB_WAL_SYNC`, default `none`; `TOPODB_VFS=sim` backs it with
+/// an in-memory [`wal::SimFs`] instead of a temp dir) to every database
+/// constructed without an explicit path — CI runs the entire suite that
+/// way to keep the logging protocol in every code path's loop.
 pub struct TopoDatabase {
     backend: Backend,
     counters: BuildCounters,
     durability: Option<Durability>,
+}
+
+/// A point-in-time report on a database's storage health, from
+/// [`TopoDatabase::health`]. See the "Durability model" notes on
+/// [`TopoDatabase`] for the taxonomy behind the counters.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct Health {
+    /// Which backend serves reads: `"epoch-chain"` or `"legacy-rwlock"`.
+    pub backend: &'static str,
+    /// The current update epoch.
+    pub epoch: u64,
+    /// Is a write-ahead log attached?
+    pub durable: bool,
+    /// `Some(root cause)` if the database has degraded to read-only: the
+    /// first storage failure that proved unsurvivable. `None` while
+    /// healthy (always `None` for in-memory databases).
+    pub degraded: Option<wal::WalError>,
+    /// Transient storage failures absorbed by retrying (each retry counts
+    /// once, so one append surviving two `EINTR`s adds two).
+    pub transient_retries: u64,
+    /// Operations whose transient failures exhausted the attempt budget
+    /// (each such exhaustion degraded the database, or found it degraded).
+    pub retries_exhausted: u64,
+    /// Commits/checkpoints rejected fast because the database was already
+    /// degraded.
+    pub degraded_commit_rejections: u64,
+    /// Acknowledged commits whose *post-append* housekeeping (periodic
+    /// checkpoint or segment rotation) failed. The commit itself is
+    /// durable; non-transient housekeeping failures also degrade.
+    pub maintenance_errors: u64,
+    /// Healthy→degraded transitions: 0 or 1 (degradation is permanent for
+    /// the life of the handle).
+    pub degrade_events: u64,
+    /// Directory-fsync failures downgraded to a warning after checkpoint
+    /// publication (see the `wal` crate's failure model).
+    pub dir_sync_downgrades: u64,
+    /// The log's head epoch (`None` for in-memory databases). Equals
+    /// [`Health::epoch`] unless commits are currently in flight.
+    pub wal_head_epoch: Option<u64>,
+    /// The epoch of the newest on-log checkpoint — the oldest epoch
+    /// [`TopoDatabase::open_at`] can still reach (`None` for in-memory
+    /// databases).
+    pub last_checkpoint_epoch: Option<u64>,
 }
 
 enum Backend {
@@ -371,12 +446,25 @@ impl TopoDatabase {
         instance: SpatialInstance,
         config: WalConfig,
     ) -> Result<Self, TopoDbError> {
-        let w = wal::Wal::create(dir.as_ref(), 0, &instance, config)?;
+        TopoDatabase::create_with_storage(dir, instance, StorageOptions::from_wal_config(config))
+    }
+
+    /// [`TopoDatabase::create`] with full control over storage: the log
+    /// configuration, the transient-failure retry policy, the storage
+    /// backend (a [`wal::Vfs`] — the real filesystem by default, or e.g. a
+    /// fault-injecting [`wal::SimFs`]), and the retry-backoff clock.
+    pub fn create_with_storage(
+        dir: impl AsRef<Path>,
+        instance: SpatialInstance,
+        options: StorageOptions,
+    ) -> Result<Self, TopoDbError> {
+        let StorageOptions { wal: config, retry, vfs, clock } = options;
+        let w = wal::Wal::create_with_vfs(vfs, dir.as_ref(), 0, &instance, config)?;
         Ok(TopoDatabase::assemble(
             instance,
             0,
             epoch_chain_enabled_by_env(),
-            Some(Durability::new(w)),
+            Some(Durability::with_policy(w, retry, clock)),
         ))
     }
 
@@ -398,13 +486,23 @@ impl TopoDatabase {
         dir: impl AsRef<Path>,
         config: WalConfig,
     ) -> Result<Self, TopoDbError> {
-        let (w, recovery) = wal::Wal::open(dir.as_ref(), config)?;
+        TopoDatabase::open_with_storage(dir, StorageOptions::from_wal_config(config))
+    }
+
+    /// [`TopoDatabase::open`] with full control over storage — see
+    /// [`TopoDatabase::create_with_storage`].
+    pub fn open_with_storage(
+        dir: impl AsRef<Path>,
+        options: StorageOptions,
+    ) -> Result<Self, TopoDbError> {
+        let StorageOptions { wal: config, retry, vfs, clock } = options;
+        let (w, recovery) = wal::Wal::open_with_vfs(vfs, dir.as_ref(), config)?;
         let instance = durability::replay(&recovery.checkpoint_instance, &recovery.records)?;
         Ok(TopoDatabase::assemble(
             instance,
             recovery.head_epoch(),
             epoch_chain_enabled_by_env(),
-            Some(Durability::new(w)),
+            Some(Durability::with_policy(w, retry, clock)),
         ))
     }
 
@@ -431,10 +529,47 @@ impl TopoDatabase {
         self.durability.is_some()
     }
 
+    /// A point-in-time health report: which backend is serving, whether a
+    /// log is attached, whether the database has degraded to read-only
+    /// (and why), and the retry/degradation counters. Cheap — a handful of
+    /// relaxed atomic loads — and callable from any thread, degraded or
+    /// not (health is a read).
+    pub fn health(&self) -> Health {
+        let (degraded, counters) = match &self.durability {
+            Some(d) => (d.degraded_cause(), Some(&d.counters)),
+            None => (None, None),
+        };
+        let load = |f: fn(&durability::DurabilityCounters) -> &std::sync::atomic::AtomicU64| {
+            counters.map_or(0, |c| f(c).load(Ordering::Relaxed))
+        };
+        Health {
+            backend: if self.epoch_chain_enabled() { "epoch-chain" } else { "legacy-rwlock" },
+            epoch: self.update_epoch(),
+            durable: self.durability.is_some(),
+            degraded,
+            transient_retries: load(|c| &c.transient_retries),
+            retries_exhausted: load(|c| &c.retries_exhausted),
+            degraded_commit_rejections: load(|c| &c.degraded_rejections),
+            maintenance_errors: load(|c| &c.maintenance_errors),
+            degrade_events: load(|c| &c.degrade_events),
+            dir_sync_downgrades: self
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.wal().stats().dir_sync_downgrades()),
+            wal_head_epoch: self.durability.as_ref().map(|d| d.wal().head_epoch()),
+            last_checkpoint_epoch: self.durability.as_ref().map(|d| d.wal().checkpoint_epoch()),
+        }
+    }
+
     /// Force a checkpoint of the current epoch: snapshot the instance,
     /// rotate the log, truncate everything older. No-op if no log is
     /// attached. (Checkpoints also happen automatically every
     /// [`WalConfig::checkpoint_every_records`] commits.)
+    ///
+    /// Subject to the same retry/degradation discipline as commits:
+    /// transient failures are retried per the [`RetryPolicy`], anything
+    /// unsurvivable degrades the database and surfaces as
+    /// [`TopoDbError::Degraded`].
     pub fn checkpoint(&self) -> Result<(), TopoDbError> {
         let Some(d) = &self.durability else { return Ok(()) };
         // Serialize with commit publication so the checkpointed instance
@@ -444,11 +579,11 @@ impl TopoDatabase {
         match &self.backend {
             Backend::Chain(chain) => {
                 let _publishing = d.publish_lock.lock().unwrap_or_else(PoisonError::into_inner);
-                d.wal().checkpoint(&chain.head().instance).map_err(TopoDbError::from)
+                d.checkpoint(&chain.head().instance)
             }
             Backend::Legacy(lock) => {
                 let st = write(lock);
-                d.wal().checkpoint(&st.instance).map_err(TopoDbError::from)
+                d.checkpoint(&st.instance)
             }
         }
     }
@@ -490,6 +625,12 @@ impl TopoDatabase {
     /// Thin wrapper over a one-operation transaction, kept for convenience;
     /// a loop of `insert` calls pays one epoch per call — batch them with
     /// [`TopoDatabase::begin`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Like [`Transaction::commit`], panics if a durable commit fails (the
+    /// database has degraded to read-only); use a transaction with
+    /// [`Transaction::try_commit`] to handle that as a typed error.
     pub fn insert<S: Into<String>>(&mut self, name: S, region: Region) {
         let mut txn = self.begin();
         txn.insert(name, region);
@@ -501,17 +642,38 @@ impl TopoDatabase {
     /// Removing a name that does not exist is a complete no-op: no epoch
     /// bump, no re-sweep. (`&mut self` guarantees no commit can interleave
     /// between the lookup and the removal.)
+    ///
+    /// # Panics
+    ///
+    /// Like [`Transaction::commit`], panics if a durable commit fails (the
+    /// database has degraded to read-only); use a transaction with
+    /// [`Transaction::try_commit`] to handle that as a typed error.
     pub fn remove(&mut self, name: &str) -> Option<Region> {
         let existing = self.instance().ext(name).cloned();
         if existing.is_some() {
-            self.commit_ops(vec![Op::Remove(name.to_string())]);
+            self.commit_ops(vec![Op::Remove(name.to_string())]).unwrap_or_else(|e| {
+                panic!("remove failed: {e}; use a transaction with try_commit() to handle this")
+            });
         }
         existing
     }
 
     /// Commit a batch of buffered operations — the funnel both
-    /// [`Transaction::commit`] and the single-mutation wrappers go through.
-    pub(crate) fn commit_ops(&self, ops: Vec<Op>) -> CommitSummary {
+    /// [`Transaction::try_commit`] and the single-mutation wrappers go
+    /// through.
+    ///
+    /// An `Err` — always [`TopoDbError::Degraded`] — means nothing was
+    /// published: readers stay on the previous epoch and the log holds no
+    /// record of the batch.
+    pub(crate) fn commit_ops(&self, ops: Vec<Op>) -> Result<CommitSummary, TopoDbError> {
+        // Degraded fast path: fail before building anything. (The publish
+        // path re-checks under its own serialization; this check just makes
+        // rejected commits cheap.)
+        if let Some(d) = &self.durability {
+            if let Some(cause) = d.degraded_cause() {
+                return Err(d.reject_degraded(cause));
+            }
+        }
         match &self.backend {
             Backend::Chain(chain) => {
                 chain.commit(ops, &self.counters, self.durability.as_ref())
@@ -520,16 +682,16 @@ impl TopoDatabase {
                 let mut st = write(lock);
                 let (next, changed) = epoch::apply_ops(&st.instance, &ops);
                 if changed.is_empty() {
-                    return CommitSummary { epoch: st.epoch, changed };
+                    return Ok(CommitSummary { epoch: st.epoch, changed });
                 }
                 // Log before publish: the record must be on the log before
                 // any state below is overwritten (the write lock already
                 // serializes appends in epoch order). A failed append
-                // panics before mutating anything, leaving the cache at
+                // returns before mutating anything, leaving the cache at
                 // the previous epoch — consistent with what a reopen of
                 // the log would recover.
                 if let Some(d) = &self.durability {
-                    d.log_batch(st.epoch + 1, &ops, &changed, &next);
+                    d.log_batch(st.epoch + 1, &ops, &changed, &next)?;
                 }
                 // Infallible from here on: whole-value overwrites only, so
                 // a poisoned lock can never expose partially-applied state.
@@ -539,7 +701,7 @@ impl TopoDatabase {
                 st.flat = None;
                 st.components
                     .retain(|key, _| !key.iter().any(|n| changed.iter().any(|c| c == n)));
-                CommitSummary { epoch: st.epoch, changed }
+                Ok(CommitSummary { epoch: st.epoch, changed })
             }
         }
     }

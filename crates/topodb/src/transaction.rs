@@ -93,8 +93,33 @@ impl<'db> Transaction<'db> {
     /// Apply the buffered operations in order and publish at most one new
     /// epoch (none if nothing changed). Returns the resulting epoch and the
     /// changed names.
-    pub fn commit(self) -> CommitSummary {
+    ///
+    /// An `Err` — always [`TopoDbError::Degraded`](crate::TopoDbError) —
+    /// means the commit published **nothing**: readers stay on the previous
+    /// epoch, the log holds no record of the batch, and the database is in
+    /// read-only degraded mode (this commit's storage failure put it there,
+    /// or an earlier one already had). Transient storage failures are
+    /// retried internally per the configured
+    /// [`RetryPolicy`](crate::RetryPolicy) before any of that; a
+    /// successfully retried commit returns `Ok` like any other.
+    pub fn try_commit(self) -> Result<CommitSummary, crate::TopoDbError> {
         self.db.commit_ops(self.ops)
+    }
+
+    /// [`Transaction::try_commit`], panicking on failure.
+    ///
+    /// In-memory commits cannot fail, so for the common case this is the
+    /// ergonomic choice. Durable callers that want to *handle* storage
+    /// degradation (rather than crash) should use
+    /// [`Transaction::try_commit`].
+    ///
+    /// # Panics
+    ///
+    /// If a durable commit fails — the database has degraded to read-only.
+    pub fn commit(self) -> CommitSummary {
+        self.try_commit().unwrap_or_else(|e| {
+            panic!("transaction commit failed: {e}; use try_commit() to handle this typed")
+        })
     }
 
     /// Discard the buffered operations without touching the database.

@@ -1,0 +1,260 @@
+//! Degraded-mode and retry-policy edge cases, driven through the
+//! fault-injecting [`wal::SimFs`] backend: transient faults are absorbed
+//! by bounded backoff, unsurvivable faults flip the database to read-only
+//! **exactly once**, commits then fail fast with the original root cause,
+//! and reads keep serving throughout.
+
+use spatial_core::instance::SpatialInstance;
+use spatial_core::region::Region;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use topodb::{Clock, RetryPolicy, StorageOptions, TopoDatabase, TopoDbError};
+use wal::{Fault, FaultPlan, SimFs};
+
+const DIR: &str = "/db";
+
+/// A [`Clock`] that records every requested backoff instead of sleeping,
+/// so retry policy is assertable without wall-clock time.
+#[derive(Debug, Default)]
+struct RecordingClock(Mutex<Vec<Duration>>);
+
+impl Clock for RecordingClock {
+    fn sleep(&self, d: Duration) {
+        self.0.lock().unwrap().push(d);
+    }
+}
+
+fn options(sim: &SimFs, retry: RetryPolicy, clock: &Arc<RecordingClock>) -> StorageOptions {
+    StorageOptions::default()
+        .with_vfs(Arc::new(sim.clone()))
+        .with_retry(retry)
+        .with_clock(Arc::clone(clock) as Arc<dyn Clock>)
+}
+
+/// A database on a fresh SimFs, with a recording no-sleep clock.
+fn sim_db(retry: RetryPolicy) -> (TopoDatabase, SimFs, Arc<RecordingClock>) {
+    let sim = SimFs::new();
+    let clock = Arc::new(RecordingClock::default());
+    let db = TopoDatabase::create_with_storage(
+        DIR,
+        SpatialInstance::new(),
+        options(&sim, retry, &clock),
+    )
+    .expect("create on a healthy SimFs");
+    (db, sim, clock)
+}
+
+fn commit_rect(db: &TopoDatabase, name: &str, at: i64) -> Result<(), TopoDbError> {
+    let mut txn = db.begin_shared();
+    txn.insert(name, Region::rect_from_ints(at, at, at + 4, at + 4));
+    txn.try_commit().map(|_| ())
+}
+
+#[test]
+fn health_reports_healthy_then_degraded_with_the_root_cause() {
+    let (db, sim, _clock) = sim_db(RetryPolicy::default());
+    commit_rect(&db, "A", 0).expect("healthy commit");
+
+    let h = db.health();
+    assert_eq!(h.backend, if db.epoch_chain_enabled() { "epoch-chain" } else { "legacy-rwlock" });
+    assert!(h.durable);
+    assert_eq!(h.epoch, 1);
+    assert_eq!(h.degraded, None, "healthy: no degradation cause");
+    assert_eq!(h.degrade_events, 0);
+    assert_eq!(h.wal_head_epoch, Some(1));
+    assert_eq!(h.last_checkpoint_epoch, Some(0));
+
+    // ENOSPC on the next append: fatal, not retried.
+    sim.set_plan(FaultPlan::none().fail_writes(1, Fault::NoSpace));
+    let err = commit_rect(&db, "B", 10).expect_err("ENOSPC must fail the commit");
+    assert!(matches!(err, TopoDbError::Degraded(_)), "typed degradation, got {err:?}");
+
+    let h = db.health();
+    let cause = h.degraded.expect("health reports the degradation");
+    assert!(cause.to_string().contains("no space"), "root cause is the ENOSPC: {cause}");
+    assert_eq!(h.degrade_events, 1);
+    assert_eq!(h.epoch, 1, "the failed commit published nothing");
+    assert_eq!(h.transient_retries, 0, "fatal faults are never retried");
+}
+
+#[test]
+fn transient_fault_on_the_final_allowed_attempt_still_succeeds() {
+    // Attempt budget 3: two EINTRs burn attempts 1 and 2, the third (last
+    // allowed) succeeds. The backoff between them doubles.
+    let (db, sim, clock) = sim_db(
+        RetryPolicy::default().with_max_attempts(3).with_backoff(Duration::from_millis(1)),
+    );
+    sim.set_plan(FaultPlan::none().fail_writes(2, Fault::Transient));
+
+    commit_rect(&db, "A", 0).expect("two transients within a 3-attempt budget must succeed");
+    assert_eq!(db.update_epoch(), 1);
+
+    let h = db.health();
+    assert_eq!(h.transient_retries, 2);
+    assert_eq!(h.retries_exhausted, 0);
+    assert_eq!(h.degraded, None, "absorbed transients never degrade");
+    let sleeps = clock.0.lock().unwrap().clone();
+    assert_eq!(
+        sleeps,
+        vec![Duration::from_millis(1), Duration::from_millis(2)],
+        "one backoff per retry, doubling"
+    );
+
+    // The log is consistent after the torn/retried appends: reopen on the
+    // surviving bytes and find the committed epoch.
+    std::mem::forget(db);
+    sim.power_cycle();
+    let reopened = TopoDatabase::open_with_storage(
+        DIR,
+        StorageOptions::default().with_vfs(Arc::new(sim.clone())),
+    )
+    .expect("reopen after retried commit");
+    assert_eq!(reopened.update_epoch(), 1, "the retried commit is durable");
+}
+
+#[test]
+fn retry_exhaustion_degrades_exactly_once_and_the_cause_is_stable() {
+    let (db, sim, clock) = sim_db(RetryPolicy::default().with_max_attempts(2));
+    commit_rect(&db, "A", 0).expect("healthy commit");
+    sim.set_plan(FaultPlan::none().fail_writes(10, Fault::Transient));
+
+    let err = commit_rect(&db, "B", 10).expect_err("budget of 2 cannot absorb 10 transients");
+    let TopoDbError::Degraded(first_cause) = err else { panic!("expected Degraded, got {err:?}") };
+    assert_eq!(clock.0.lock().unwrap().len(), 1, "exactly one backoff before exhaustion");
+
+    // Subsequent commits fail fast — no further attempts hit storage, no
+    // further degrade events, and the root cause never changes.
+    let points_after = sim.io_points();
+    for i in 0..3u64 {
+        let err = commit_rect(&db, "C", 20 + i as i64).expect_err("degraded: commits rejected");
+        let TopoDbError::Degraded(cause) = err else { panic!("expected Degraded, got {err:?}") };
+        assert_eq!(cause, first_cause, "the root cause is the first failure, forever");
+    }
+    assert_eq!(sim.io_points(), points_after, "fail-fast rejections never touch storage");
+
+    let h = db.health();
+    assert_eq!(h.degrade_events, 1, "degradation happened exactly once");
+    assert_eq!(h.retries_exhausted, 1);
+    assert_eq!(h.transient_retries, 1);
+    assert_eq!(h.degraded_commit_rejections, 3);
+    assert_eq!(h.degraded, Some(first_cause));
+}
+
+#[test]
+fn reads_keep_serving_while_commits_fail_typed() {
+    // The forced-fatal acceptance scenario: after degradation, every
+    // commit fails fast with the typed error while snapshots, queries and
+    // relation reads keep serving the last published epoch.
+    let (db, sim, _clock) = sim_db(RetryPolicy::default());
+    commit_rect(&db, "A", 0).expect("commit A");
+    commit_rect(&db, "B", 2).expect("commit B overlapping A");
+    let snapshot_before = db.snapshot();
+
+    sim.set_plan(FaultPlan::none().fail_writes(1, Fault::NoSpace));
+    let err = commit_rect(&db, "C", 50).expect_err("fatal fault degrades");
+    assert!(matches!(err, TopoDbError::Degraded(_)));
+
+    // Reads on a degraded database: same epoch, same answers, new
+    // snapshots still acquirable.
+    assert_eq!(db.update_epoch(), 2, "head unchanged by the failed commit");
+    let snap = db.snapshot();
+    assert_eq!(snap.epoch(), snapshot_before.epoch());
+    assert_eq!(snap.relation("A", "B").unwrap().name(), "overlap");
+    assert_eq!(db.query("overlap(A, B)"), Ok(true));
+    assert!(db.query("disjoint(A, C)").is_err(), "C was never published");
+    assert!(db.summary().contains("2 region(s)"));
+
+    // Checkpoints are writes too: rejected typed, not panicking.
+    let err = db.checkpoint().expect_err("checkpoint on a degraded database");
+    assert!(matches!(err, TopoDbError::Degraded(_)), "got {err:?}");
+}
+
+#[test]
+fn concurrent_committers_all_observe_degraded_without_deadlock() {
+    let (db, sim, _clock) = sim_db(RetryPolicy::default());
+    commit_rect(&db, "Base", 0).expect("healthy commit");
+    sim.set_plan(FaultPlan::none().fail_writes(64, Fault::NoSpace));
+
+    // Several threads race their commits into the fault. Whoever reaches
+    // storage first degrades the database; everyone — including commits
+    // that only start after degradation — gets the typed error, and the
+    // publish lock is released on every path (no deadlock, bounded time).
+    let results: Vec<Result<(), TopoDbError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let db = &db;
+                s.spawn(move || commit_rect(db, "W", 10 + 10 * i))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    for (i, r) in results.iter().enumerate() {
+        let Err(TopoDbError::Degraded(_)) = r else {
+            panic!("committer {i} must observe Degraded, got {r:?}");
+        };
+    }
+
+    let h = db.health();
+    assert_eq!(h.degrade_events, 1, "one degradation for the whole stampede");
+    assert_eq!(h.epoch, 1, "nothing published");
+    assert_eq!(db.snapshot().epoch(), 1, "reads still serve after the stampede");
+
+    // A committer arriving later is also rejected, typed.
+    let err = commit_rect(&db, "Late", 99).expect_err("still degraded");
+    assert!(matches!(err, TopoDbError::Degraded(_)));
+}
+
+#[test]
+fn failed_maintenance_after_an_acked_append_keeps_the_commit_and_degrades() {
+    // Checkpoint cadence of 2: the second commit's append succeeds (and is
+    // acked), then the post-append checkpoint write hits ENOSPC. The
+    // commit must stand — its record is durable — while the database
+    // degrades proactively so the *next* commit fails typed.
+    let sim = SimFs::new();
+    let clock = Arc::new(RecordingClock::default());
+    let mut opts = options(&sim, RetryPolicy::default(), &clock);
+    opts.wal = opts.wal.with_checkpoint_every(2);
+    let db = TopoDatabase::create_with_storage(DIR, SpatialInstance::new(), opts)
+        .expect("create on a healthy SimFs");
+
+    commit_rect(&db, "A", 0).expect("commit 1 (no checkpoint yet)");
+    // Commit 2 in order: append write, per-commit fsync, checkpoint tmp
+    // write. Target the checkpoint write by io point.
+    sim.set_plan(FaultPlan::none().at(sim.io_points() + 2, Fault::NoSpace));
+    commit_rect(&db, "B", 10).expect("the append was acked; failed housekeeping keeps the commit");
+    assert_eq!(db.update_epoch(), 2, "both commits published");
+
+    let h = db.health();
+    assert_eq!(h.maintenance_errors, 1);
+    assert!(h.degraded.is_some(), "fatal maintenance degrades proactively");
+    let err = commit_rect(&db, "C", 20).expect_err("next commit is rejected");
+    assert!(matches!(err, TopoDbError::Degraded(_)));
+
+    // Both acked commits survive a crash + reopen.
+    std::mem::forget(db);
+    sim.power_cycle();
+    let reopened = TopoDatabase::open_with_storage(
+        DIR,
+        StorageOptions::default().with_vfs(Arc::new(sim.clone())),
+    )
+    .expect("reopen");
+    assert_eq!(reopened.update_epoch(), 2, "no acked commit lost");
+}
+
+#[test]
+fn dir_sync_downgrades_surface_in_health() {
+    let (db, sim, _clock) = sim_db(RetryPolicy::default());
+    commit_rect(&db, "A", 0).expect("healthy commit");
+
+    // The checkpoint is published by rename; a directory-fsync failure
+    // after it downgrades to a counted warning instead of failing the
+    // checkpoint (see the wal crate's failure model).
+    sim.set_plan(FaultPlan::none().fail_dir_syncs(8, Fault::SyncFail));
+    db.checkpoint().expect("checkpoint succeeds despite the dir-sync failure");
+
+    let h = db.health();
+    assert_eq!(h.dir_sync_downgrades, 1);
+    assert_eq!(h.degraded, None, "a downgrade is not a degradation");
+    assert_eq!(h.last_checkpoint_epoch, Some(1), "the checkpoint took effect");
+    commit_rect(&db, "B", 10).expect("the database stays healthy");
+}

@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use topodb::query::PreparedQuery;
 use topodb::{QueryOutput, SyncPolicy, TopoDatabase, TopoDbError, WalConfig};
 use wal::testing::{flip_byte, record_boundaries, segment_files, truncate_at};
+use wal::RealFs;
 use wal::WalError;
 
 /// A temp directory deleted on drop (even when the test panics).
@@ -186,16 +187,16 @@ fn crash_at_each_record_boundary_recovers_that_exact_epoch() {
     let pristine = scratch.sub("pristine");
     commit_and_crash(&pristine, &trace, no_sync());
 
-    let segments = segment_files(&pristine);
+    let segments = segment_files(&RealFs, &pristine).expect("list segments");
     assert_eq!(segments.len(), 1, "small trace stays in one segment");
     let seg_name = segments[0].file_name().unwrap().to_owned();
-    let bounds = record_boundaries(&segments[0]);
+    let bounds = record_boundaries(&RealFs, &segments[0]).expect("frame boundaries");
     assert_eq!(bounds.len(), trace.len() + 1, "header end + one boundary per record");
 
     for (epoch, &cut) in bounds.iter().enumerate() {
         let image = scratch.sub("image");
         copy_dir(&pristine, &image);
-        truncate_at(&image.join(&seg_name), cut);
+        truncate_at(&RealFs, &image.join(&seg_name), cut).expect("truncate image");
 
         let db = TopoDatabase::open(&image).expect("boundary cut is a clean state");
         assert_eq!(db.update_epoch(), epoch as u64, "cut at {cut}");
@@ -211,9 +212,9 @@ fn crash_at_every_byte_inside_the_final_record_truncates_the_torn_tail() {
     let pristine = scratch.sub("pristine");
     commit_and_crash(&pristine, &trace, no_sync());
 
-    let segments = segment_files(&pristine);
+    let segments = segment_files(&RealFs, &pristine).expect("list segments");
     let seg_name = segments[0].file_name().unwrap().to_owned();
-    let bounds = record_boundaries(&segments[0]);
+    let bounds = record_boundaries(&RealFs, &segments[0]).expect("frame boundaries");
     let last_start = bounds[bounds.len() - 2];
     let last_end = *bounds.last().unwrap();
     assert!(last_end > last_start + 8, "final record is non-trivial");
@@ -224,7 +225,7 @@ fn crash_at_every_byte_inside_the_final_record_truncates_the_torn_tail() {
     for cut in last_start..last_end {
         let image = scratch.sub("image");
         copy_dir(&pristine, &image);
-        truncate_at(&image.join(&seg_name), cut);
+        truncate_at(&RealFs, &image.join(&seg_name), cut).expect("truncate image");
 
         let db = TopoDatabase::open(&image)
             .unwrap_or_else(|e| panic!("torn cut at byte {cut} must recover, got {e}"));
@@ -248,15 +249,15 @@ fn corrupt_record_mid_log_fails_loudly_with_the_offending_offset() {
     let pristine = scratch.sub("pristine");
     commit_and_crash(&pristine, &trace, no_sync());
 
-    let segments = segment_files(&pristine);
+    let segments = segment_files(&RealFs, &pristine).expect("list segments");
     let seg_name = segments[0].file_name().unwrap().to_owned();
-    let bounds = record_boundaries(&segments[0]);
+    let bounds = record_boundaries(&RealFs, &segments[0]).expect("frame boundaries");
 
     // Flip a payload byte of the third record — mid-log, so this is bit
     // rot, not a torn tail, and recovery must refuse the whole log.
     let image = scratch.sub("image");
     copy_dir(&pristine, &image);
-    flip_byte(&image.join(&seg_name), bounds[2] + 9);
+    flip_byte(&RealFs, &image.join(&seg_name), bounds[2] + 9).expect("flip byte");
 
     let err = open_err(&image, "mid-log corruption must not recover");
     let TopoDbError::Durability(WalError::Corrupt { segment, offset, .. }) = &err else {

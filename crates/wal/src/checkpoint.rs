@@ -20,11 +20,12 @@
 
 use crate::crc::crc32;
 use crate::error::WalError;
+use crate::vfs::Vfs;
+use crate::writer::WalStats;
 use spatial_core::instance::SpatialInstance;
 use spatial_core::wire::{put_u64, Wire, WireReader};
-use std::fs::{self, File};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 
 /// Magic + format version opening every checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TOPOCKP\x01";
@@ -110,36 +111,53 @@ pub fn decode_checkpoint(
     Ok(instance)
 }
 
+/// How many times a transiently-failing directory fsync is retried before
+/// being downgraded to best-effort (and counted).
+const DIR_SYNC_ATTEMPTS: u32 = 3;
+
 /// Write the checkpoint for `epoch` durably into `dir`: temp file, fsync,
-/// atomic rename, directory fsync (best-effort where the platform allows).
+/// atomic rename, directory fsync.
+///
+/// The directory fsync makes the rename itself durable. It can fail
+/// transiently (`EINTR`, retried here) or be unsupported by the platform;
+/// a persistent failure narrows the durability window but never threatens
+/// consistency (the rename is atomic either way), so it is downgraded to
+/// best-effort — and *counted* in [`WalStats::dir_sync_downgrades`], never
+/// silently discarded.
 pub fn write_checkpoint(
+    vfs: &dyn Vfs,
     dir: &Path,
     epoch: u64,
     instance: &SpatialInstance,
+    stats: &WalStats,
 ) -> Result<PathBuf, WalError> {
     let final_path = dir.join(checkpoint_file_name(epoch));
     let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(epoch)));
     let bytes = encode_checkpoint(epoch, instance);
     let ctx = |what: &str| format!("{what} {}", tmp_path.display());
 
-    let mut f = File::create(&tmp_path).map_err(|e| WalError::io(ctx("create"), &e))?;
+    let mut f = vfs.create(&tmp_path).map_err(|e| WalError::io(ctx("create"), &e))?;
     f.write_all(&bytes).map_err(|e| WalError::io(ctx("write"), &e))?;
     f.sync_all().map_err(|e| WalError::io(ctx("fsync"), &e))?;
     drop(f);
-    fs::rename(&tmp_path, &final_path)
+    vfs.rename(&tmp_path, &final_path)
         .map_err(|e| WalError::io(format!("rename into {}", final_path.display()), &e))?;
-    // Make the rename itself durable. Directory fsync is not supported
-    // everywhere; failure here narrows the durability window but does not
-    // threaten consistency (the rename is atomic either way).
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
+    let mut attempt = 0;
+    while let Err(e) = vfs.sync_dir(dir) {
+        attempt += 1;
+        let err = WalError::io(format!("fsync dir {}", dir.display()), &e);
+        if err.is_transient() && attempt < DIR_SYNC_ATTEMPTS {
+            continue;
+        }
+        stats.dir_sync_downgrades.fetch_add(1, Ordering::Relaxed);
+        break;
     }
     Ok(final_path)
 }
 
 /// Read and verify the checkpoint at `path`, returning its epoch (from the
 /// validated file name) and instance.
-pub fn read_checkpoint(path: &Path) -> Result<(u64, SpatialInstance), WalError> {
+pub fn read_checkpoint(vfs: &dyn Vfs, path: &Path) -> Result<(u64, SpatialInstance), WalError> {
     let name = path
         .file_name()
         .and_then(|n| n.to_str())
@@ -149,9 +167,8 @@ pub fn read_checkpoint(path: &Path) -> Result<(u64, SpatialInstance), WalError> 
         path: path.display().to_string(),
         detail: "not a checkpoint file name".to_string(),
     })?;
-    let mut bytes = Vec::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_end(&mut bytes))
+    let bytes = vfs
+        .read(path)
         .map_err(|e| WalError::io(format!("read checkpoint {}", path.display()), &e))?;
     let instance = decode_checkpoint(&bytes, &name, epoch)?;
     Ok((epoch, instance))
@@ -213,11 +230,36 @@ mod tests {
 
     #[test]
     fn write_read_round_trip_on_disk() {
+        use crate::vfs::RealFs;
         let dir = std::env::temp_dir().join(format!("wal-ckpt-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        RealFs.create_dir_all(&dir).unwrap();
         let inst = sample_instance();
-        let path = write_checkpoint(&dir, 9, &inst).unwrap();
-        assert_eq!(read_checkpoint(&path).unwrap(), (9, inst));
-        std::fs::remove_dir_all(&dir).unwrap();
+        let stats = WalStats::default();
+        let path = write_checkpoint(&RealFs, &dir, 9, &inst, &stats).unwrap();
+        assert_eq!(read_checkpoint(&RealFs, &path).unwrap(), (9, inst));
+        assert_eq!(stats.dir_sync_downgrades.load(Ordering::Relaxed), 0);
+        RealFs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_sync_failure_is_retried_then_counted() {
+        use crate::simfs::{Fault, FaultPlan, SimFs};
+        let dir = Path::new("/db");
+        let inst = sample_instance();
+        let stats = WalStats::default();
+
+        // One transient directory-fsync fault: absorbed by the retry loop.
+        let sim = SimFs::with_plan(FaultPlan::none().fail_dir_syncs(1, Fault::Transient));
+        sim.create_dir_all(dir).unwrap();
+        write_checkpoint(&sim, dir, 1, &inst, &stats).unwrap();
+        assert_eq!(stats.dir_sync_downgrades.load(Ordering::Relaxed), 0);
+
+        // A persistently failing directory fsync: the checkpoint still
+        // lands (consistency is rename's job) but the downgrade is counted.
+        let sim = SimFs::with_plan(FaultPlan::none().fail_dir_syncs(8, Fault::SyncFail));
+        sim.create_dir_all(dir).unwrap();
+        let path = write_checkpoint(&sim, dir, 2, &inst, &stats).unwrap();
+        assert_eq!(stats.dir_sync_downgrades.load(Ordering::Relaxed), 1);
+        assert_eq!(read_checkpoint(&sim, &path).unwrap(), (2, inst));
     }
 }

@@ -1,5 +1,6 @@
 //! Durability error type.
 
+use crate::vfs::{VfsError, VfsErrorKind};
 use std::fmt;
 
 /// Everything that can go wrong opening, reading, or appending to a log.
@@ -9,12 +10,16 @@ use std::fmt;
 /// its own derives.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WalError {
-    /// An operating-system I/O failure. `context` says what the log was
-    /// doing (e.g. `"append to seg-…"`), `message` is the OS error text.
+    /// A storage backend failure. `context` says what the log was doing
+    /// (e.g. `"append to seg-…"`), `kind` preserves the backend's
+    /// retryability classification, `message` is the backend error text.
     Io {
         /// What the log was doing when the failure happened.
         context: String,
-        /// The underlying OS error, stringified.
+        /// The backend's classification of the failure (see the crate's
+        /// "Failure model" section for how callers should react).
+        kind: VfsErrorKind,
+        /// The underlying backend error, stringified.
         message: String,
     },
     /// Bytes on disk that are neither a valid record nor a tolerable torn
@@ -53,15 +58,25 @@ pub enum WalError {
 }
 
 impl WalError {
-    pub(crate) fn io(context: impl Into<String>, err: &std::io::Error) -> WalError {
-        WalError::Io { context: context.into(), message: err.to_string() }
+    pub(crate) fn io(context: impl Into<String>, err: &VfsError) -> WalError {
+        WalError::Io { context: context.into(), kind: err.kind, message: err.message.clone() }
+    }
+
+    /// Whether this error is worth retrying at the same call site: only
+    /// `EINTR`-style transient backend failures are. Fsync failures are
+    /// *never* reported as transient (the unsynced tail must be assumed
+    /// lost — see the crate's "Failure model").
+    pub fn is_transient(&self) -> bool {
+        matches!(self, WalError::Io { kind: VfsErrorKind::Interrupted, .. })
     }
 }
 
 impl fmt::Display for WalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WalError::Io { context, message } => write!(f, "wal i/o error ({context}): {message}"),
+            WalError::Io { context, kind, message } => {
+                write!(f, "wal i/o error ({context}, {kind}): {message}")
+            }
             WalError::Corrupt { segment, offset, detail } => {
                 write!(f, "wal corruption in {segment} at byte {offset}: {detail}")
             }

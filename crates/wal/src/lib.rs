@@ -27,11 +27,50 @@
 //!   (that is the state an interrupted append legitimately leaves);
 //!   any other anomaly, including a CRC mismatch mid-log, is a loud
 //!   [`WalError::Corrupt`] naming the file and byte offset.
+//! * **Storage backends** ([`vfs`]): every I/O site goes through the
+//!   [`Vfs`] trait — [`RealFs`] (the OS filesystem) by default, or the
+//!   deterministic in-memory [`SimFs`] whose seeded [`FaultPlan`] injects
+//!   torn writes, failed fsyncs, `EINTR`, `ENOSPC`, and power loss at
+//!   numbered I/O points ([`simfs`]).
+//!
+//! # Failure model
+//!
+//! Storage fails in qualitatively different ways, and the log reports
+//! them so callers can react correctly:
+//!
+//! * **Transient** ([`WalError::is_transient`], `EINTR`-style
+//!   [`Io`](WalError::Io) errors): the operation did not take effect and
+//!   may be retried as-is. A *failed append* is always retry-safe even if
+//!   bytes were torn onto the file: the appender records the damage and
+//!   truncates back to the last record boundary before the next write, so
+//!   a retried record can never land after garbage.
+//! * **Fatal** (every other [`Io`](WalError::Io) error — `ENOSPC`,
+//!   permission loss, device failure, and **any failed fsync**): the
+//!   operation cannot succeed by repetition. Failed fsyncs are the sharp
+//!   edge (the "fsync-gate" semantics of real kernels): the failed call
+//!   may have *dropped* the dirty pages, so the durable tail is unknown
+//!   and the appender [breaks](Wal::broken) — it refuses all further
+//!   appends rather than build history on an unknowable base. Reopening
+//!   the directory re-scans actual disk state and resumes from the last
+//!   durable record.
+//! * **Corrupting** ([`WalError::Corrupt`]): bytes on disk (or an
+//!   attempted out-of-order append) that no crash of our own writer can
+//!   produce. Never retried, never repaired silently.
+//!
+//! Failures *after* a record is durably appended (a periodic checkpoint
+//! or segment rotation that fails) do not retract the append: they are
+//! reported out-of-band in [`AppendOutcome::maintenance`], and the rare
+//! case that would make future appends unrecoverable (a rotation failing
+//! after its checkpoint renamed into place) breaks the appender instead
+//! of losing records. Directory-fsync failures during checkpointing are
+//! retried while transient, then downgraded to best-effort and counted in
+//! [`WalStats::dir_sync_downgrades`] — they narrow one rename's
+//! durability window, never consistency.
 //!
 //! The crate knows nothing about arrangements, invariants, or queries: it
 //! stores and replays batches of named-region mutations. `topodb` owns the
 //! protocol above it (log-before-publish ordering, replay through its own
-//! rebuild path, point-in-time reopen).
+//! rebuild path, retry/degradation policy, point-in-time reopen).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,44 +81,56 @@ pub mod error;
 pub mod record;
 pub mod recovery;
 pub mod segment;
+pub mod simfs;
 pub mod testing;
+pub mod vfs;
 pub mod writer;
 
 pub use error::WalError;
 pub use record::{BatchRecord, WalOp};
 pub use recovery::Recovery;
-pub use writer::{SyncPolicy, Wal, WalConfig};
+pub use simfs::{Fault, FaultPlan, SimFs};
+pub use vfs::{RealFs, Vfs, VfsError, VfsErrorKind, VfsFile};
+pub use writer::{AppendOutcome, SyncPolicy, Wal, WalConfig, WalStats};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use spatial_core::instance::SpatialInstance;
     use spatial_core::region::Region;
-    use std::path::{Path, PathBuf};
+    use std::path::Path;
+    use std::sync::Arc;
 
-    /// Fresh scratch directory, cleaned up on drop.
-    struct Scratch(PathBuf);
+    const DIR: &str = "/db";
 
-    impl Scratch {
-        fn new(tag: &str) -> Scratch {
-            let dir = std::env::temp_dir()
-                .join(format!("wal-lib-{tag}-{}", std::process::id()));
-            let _ = std::fs::remove_dir_all(&dir);
-            Scratch(dir)
-        }
-        fn path(&self) -> &Path {
-            &self.0
-        }
+    fn dir() -> &'static Path {
+        Path::new(DIR)
     }
 
-    impl Drop for Scratch {
-        fn drop(&mut self) {
-            let _ = std::fs::remove_dir_all(&self.0);
-        }
+    fn sim() -> (SimFs, Arc<dyn Vfs>) {
+        let sim = SimFs::new();
+        let shared: Arc<dyn Vfs> = Arc::new(sim.clone());
+        (sim, shared)
+    }
+
+    fn create_on(vfs: &Arc<dyn Vfs>, cfg: WalConfig) -> Wal {
+        Wal::create_with_vfs(Arc::clone(vfs), dir(), 0, &SpatialInstance::new(), cfg).unwrap()
+    }
+
+    fn open_on(vfs: &Arc<dyn Vfs>, cfg: WalConfig) -> (Wal, Recovery) {
+        Wal::open_with_vfs(Arc::clone(vfs), dir(), cfg).unwrap()
     }
 
     fn region(i: u64) -> Region {
         Region::rect_from_ints(i as i64, 0, i as i64 + 2, 2)
+    }
+
+    fn batch(epoch: u64, name: &str, r: Region) -> BatchRecord {
+        BatchRecord {
+            epoch,
+            ops: vec![WalOp::Insert(name.to_string(), r)],
+            changed: vec![name.to_string()],
+        }
     }
 
     /// Run `n` insert batches through a fresh wal, returning the final
@@ -89,28 +140,20 @@ mod tests {
         for epoch in 1..=n {
             let name = format!("r{epoch}");
             inst.insert(name.clone(), region(epoch));
-            wal.append_batch(
-                &BatchRecord {
-                    epoch,
-                    ops: vec![WalOp::Insert(name.clone(), region(epoch))],
-                    changed: vec![name],
-                },
-                &inst,
-            )
-            .unwrap();
+            let out = wal.append_batch(&batch(epoch, &name, region(epoch)), &inst).unwrap();
+            assert!(out.maintenance.is_none(), "{:?}", out.maintenance);
         }
         inst
     }
 
     #[test]
     fn create_then_reopen_replays_everything() {
-        let scratch = Scratch::new("reopen");
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-            .unwrap();
+        let (_, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
         let inst = commit_n(&wal, 5);
         drop(wal);
 
-        let (wal, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        let (wal, recovery) = open_on(&vfs, WalConfig::default());
         assert_eq!(recovery.checkpoint_epoch, 0);
         assert_eq!(recovery.head_epoch(), 5);
         assert_eq!(recovery.records.len(), 5);
@@ -135,91 +178,99 @@ mod tests {
     }
 
     #[test]
+    fn real_fs_round_trip() {
+        // The default backend is the OS filesystem; one end-to-end pass
+        // keeps RealFs covered inside this crate (the topodb recovery
+        // suites exercise it heavily on top).
+        let dir = std::env::temp_dir().join(format!("wal-lib-realfs-{}", std::process::id()));
+        let _ = RealFs.remove_dir_all(&dir);
+        let wal = Wal::create(&dir, 0, &SpatialInstance::new(), WalConfig::default()).unwrap();
+        commit_n(&wal, 3);
+        drop(wal);
+        let (_, recovery) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recovery.head_epoch(), 3);
+        RealFs.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn appends_resume_after_reopen() {
-        let scratch = Scratch::new("resume");
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-            .unwrap();
+        let (_, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
         let mut inst = commit_n(&wal, 3);
         drop(wal);
 
-        let (wal, _) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        let (wal, _) = open_on(&vfs, WalConfig::default());
         inst.insert("x", region(50));
-        wal.append_batch(
-            &BatchRecord {
-                epoch: 4,
-                ops: vec![WalOp::Insert("x".into(), region(50))],
-                changed: vec!["x".into()],
-            },
-            &inst,
-        )
-        .unwrap();
+        let out = wal.append_batch(&batch(4, "x", region(50)), &inst).unwrap();
+        assert!(out.maintenance.is_none());
         drop(wal);
 
-        let (_, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        let (_, recovery) = open_on(&vfs, WalConfig::default());
         assert_eq!(recovery.head_epoch(), 4);
     }
 
     #[test]
     fn out_of_order_append_is_refused() {
-        let scratch = Scratch::new("order");
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-            .unwrap();
+        let (_, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
         let inst = commit_n(&wal, 2);
         let err = wal
             .append_batch(&BatchRecord { epoch: 2, ops: vec![], changed: vec![] }, &inst)
             .unwrap_err();
         assert!(matches!(err, WalError::Corrupt { .. }), "{err:?}");
+        assert!(!err.is_transient());
     }
 
     #[test]
     fn create_refuses_existing_database() {
-        let scratch = Scratch::new("exists");
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-            .unwrap();
+        let (_, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
         drop(wal);
-        let err =
-            Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-                .unwrap_err();
+        let err = Wal::create_with_vfs(
+            Arc::clone(&vfs),
+            dir(),
+            0,
+            &SpatialInstance::new(),
+            WalConfig::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, WalError::AlreadyExists { .. }), "{err:?}");
     }
 
     #[test]
     fn open_of_nondatabase_is_refused() {
-        let scratch = Scratch::new("nondb");
-        std::fs::create_dir_all(scratch.path()).unwrap();
-        let err = Wal::open(scratch.path(), WalConfig::default()).unwrap_err();
+        let (sim, vfs) = sim();
+        sim.create_dir_all(dir()).unwrap();
+        let err = Wal::open_with_vfs(vfs, dir(), WalConfig::default()).unwrap_err();
         assert!(matches!(err, WalError::NotADatabase { .. }), "{err:?}");
     }
 
     #[test]
     fn segment_rotation_preserves_replay() {
-        let scratch = Scratch::new("rotate");
+        let (sim, vfs) = sim();
         // Tiny segments force a rotation roughly every record.
         let cfg = WalConfig::default().with_segment_max_bytes(96);
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), cfg).unwrap();
+        let wal = create_on(&vfs, cfg);
         commit_n(&wal, 12);
         drop(wal);
 
-        assert!(
-            testing::segment_files(scratch.path()).len() > 3,
-            "expected several segments, found {:?}",
-            testing::segment_files(scratch.path())
-        );
-        let (_, recovery) = Wal::open(scratch.path(), cfg).unwrap();
+        let segments = testing::segment_files(&sim, dir()).unwrap();
+        assert!(segments.len() > 3, "expected several segments, found {segments:?}");
+        let (_, recovery) = open_on(&vfs, cfg);
         assert_eq!(recovery.head_epoch(), 12);
         assert_eq!(recovery.records.len(), 12);
     }
 
     #[test]
     fn checkpoint_truncates_and_bounds_replay() {
-        let scratch = Scratch::new("ckpt");
+        let (_, vfs) = sim();
         let cfg = WalConfig::default().with_checkpoint_every(4);
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), cfg).unwrap();
+        let wal = create_on(&vfs, cfg);
         commit_n(&wal, 10);
         assert_eq!(wal.checkpoint_epoch(), 8, "periodic checkpoint at the 8th record");
         drop(wal);
 
-        let (_, recovery) = Wal::open(scratch.path(), cfg).unwrap();
+        let (_, recovery) = open_on(&vfs, cfg);
         assert_eq!(recovery.checkpoint_epoch, 8);
         assert_eq!(recovery.records.len(), 2, "only post-checkpoint records replay");
         assert_eq!(recovery.head_epoch(), 10);
@@ -231,16 +282,16 @@ mod tests {
 
     #[test]
     fn explicit_checkpoint_and_sync() {
-        let scratch = Scratch::new("explicit");
+        let (_, vfs) = sim();
         let cfg = WalConfig::default().with_sync(SyncPolicy::None);
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), cfg).unwrap();
+        let wal = create_on(&vfs, cfg);
         let inst = commit_n(&wal, 3);
         wal.sync().unwrap();
         wal.checkpoint(&inst).unwrap();
         assert_eq!(wal.checkpoint_epoch(), 3);
         drop(wal);
 
-        let (_, recovery) = Wal::open(scratch.path(), cfg).unwrap();
+        let (_, recovery) = open_on(&vfs, cfg);
         assert_eq!(recovery.checkpoint_epoch, 3);
         assert_eq!(recovery.checkpoint_instance.len(), 3);
         assert!(recovery.records.is_empty());
@@ -248,57 +299,48 @@ mod tests {
 
     #[test]
     fn torn_tail_is_truncated_and_appendable() {
-        let scratch = Scratch::new("torn");
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-            .unwrap();
+        let (sim, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
         let mut inst = commit_n(&wal, 4);
         drop(wal);
 
         // Crash mid-append: chop the last record in half.
-        let segments = testing::segment_files(scratch.path());
+        let segments = testing::segment_files(&sim, dir()).unwrap();
         let seg = segments.last().unwrap();
-        let bounds = testing::record_boundaries(seg);
+        let bounds = testing::record_boundaries(&sim, seg).unwrap();
         let torn_at = (bounds[3] + bounds[4]) / 2;
-        testing::truncate_at(seg, torn_at);
+        testing::truncate_at(&sim, seg, torn_at).unwrap();
 
-        let (wal, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        let (wal, recovery) = open_on(&vfs, WalConfig::default());
         assert!(recovery.torn_tail);
         assert_eq!(recovery.head_epoch(), 3, "the half-written epoch 4 is gone");
         // The torn bytes are physically gone and epoch 4 can be re-logged.
-        assert_eq!(std::fs::metadata(seg).unwrap().len(), bounds[3]);
+        assert_eq!(testing::file_len(&sim, seg).unwrap(), bounds[3]);
         inst.insert("again", region(9));
-        wal.append_batch(
-            &BatchRecord {
-                epoch: 4,
-                ops: vec![WalOp::Insert("again".into(), region(9))],
-                changed: vec!["again".into()],
-            },
-            &inst,
-        )
-        .unwrap();
+        let out = wal.append_batch(&batch(4, "again", region(9)), &inst).unwrap();
+        assert!(out.maintenance.is_none());
         drop(wal);
-        let (_, recovery) = Wal::open(scratch.path(), WalConfig::default()).unwrap();
+        let (_, recovery) = open_on(&vfs, WalConfig::default());
         assert_eq!(recovery.head_epoch(), 4);
         assert!(!recovery.torn_tail);
     }
 
     #[test]
     fn mid_log_corruption_fails_with_offset() {
-        let scratch = Scratch::new("midlog");
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-            .unwrap();
+        let (sim, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
         commit_n(&wal, 4);
         drop(wal);
 
-        let segments = testing::segment_files(scratch.path());
+        let segments = testing::segment_files(&sim, dir()).unwrap();
         let seg = segments.last().unwrap();
-        let bounds = testing::record_boundaries(seg);
+        let bounds = testing::record_boundaries(&sim, seg).unwrap();
         // Flip a byte inside the *second* record's payload: records follow
         // it, so this must be loud, and the error must point at the
         // record's own offset.
         let flip_at = bounds[1] + 12;
-        testing::flip_byte(seg, flip_at);
-        let err = Wal::open(scratch.path(), WalConfig::default()).unwrap_err();
+        testing::flip_byte(&sim, seg, flip_at).unwrap();
+        let err = Wal::open_with_vfs(vfs, dir(), WalConfig::default()).unwrap_err();
         match err {
             WalError::Corrupt { offset, detail, .. } => {
                 assert_eq!(offset, bounds[1], "error points at the corrupted record");
@@ -310,20 +352,117 @@ mod tests {
 
     #[test]
     fn read_is_nondestructive() {
-        let scratch = Scratch::new("readonly");
-        let wal = Wal::create(scratch.path(), 0, &SpatialInstance::new(), WalConfig::default())
-            .unwrap();
+        let (sim, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
         commit_n(&wal, 3);
         drop(wal);
-        let segments = testing::segment_files(scratch.path());
+        let segments = testing::segment_files(&sim, dir()).unwrap();
         let seg = segments.last().unwrap();
-        let bounds = testing::record_boundaries(seg);
-        testing::truncate_at(seg, bounds[3] - 1);
+        let bounds = testing::record_boundaries(&sim, seg).unwrap();
+        testing::truncate_at(&sim, seg, bounds[3] - 1).unwrap();
 
-        let before = std::fs::read(seg).unwrap();
-        let recovery = Wal::read(scratch.path()).unwrap();
+        let before = sim.read(seg).unwrap();
+        let recovery = Wal::read_with_vfs(&*vfs, dir()).unwrap();
         assert!(recovery.torn_tail);
         assert_eq!(recovery.head_epoch(), 2);
-        assert_eq!(std::fs::read(seg).unwrap(), before, "read-only scan must not truncate");
+        assert_eq!(sim.read(seg).unwrap(), before, "read-only scan must not truncate");
+    }
+
+    // ---- fault-injection behavior of the appender itself ----
+
+    #[test]
+    fn transient_append_fault_is_retryable_without_corruption() {
+        let (sim, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
+        let inst = commit_n(&wal, 2);
+
+        // Tear the next append after 7 bytes; the error is transient.
+        sim.set_plan(FaultPlan::none().fail_writes(1, Fault::Torn { keep: 7 }));
+        let mut inst3 = inst.clone();
+        inst3.insert("r3", region(3));
+        let err = wal.append_batch(&batch(3, "r3", region(3)), &inst3).unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+
+        // The bare retry succeeds: the appender trims the torn bytes first.
+        let out = wal.append_batch(&batch(3, "r3", region(3)), &inst3).unwrap();
+        assert!(out.maintenance.is_none());
+        drop(wal);
+        let (_, recovery) = open_on(&vfs, WalConfig::default());
+        assert_eq!(recovery.head_epoch(), 3);
+        assert!(!recovery.torn_tail, "no torn garbage left behind the retried record");
+    }
+
+    #[test]
+    fn failed_fsync_breaks_the_appender_and_loses_only_unsynced_bytes() {
+        let (sim, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
+        let inst = commit_n(&wal, 2);
+
+        sim.set_plan(FaultPlan::none().fail_syncs(1, Fault::SyncFail));
+        let mut inst3 = inst.clone();
+        inst3.insert("r3", region(3));
+        let err = wal.append_batch(&batch(3, "r3", region(3)), &inst3).unwrap_err();
+        assert!(!err.is_transient(), "failed fsync must never be reported transient");
+        assert_eq!(wal.broken(), Some(err.clone()));
+
+        // The appender refuses further work with the same error.
+        let err2 = wal.append_batch(&batch(3, "r3", region(3)), &inst3).unwrap_err();
+        assert_eq!(err2, err);
+        std::mem::forget(wal); // crash: Drop would try (and fail) to sync
+
+        // Reopen sees exactly the synced prefix: epochs 1..=2.
+        sim.power_cycle();
+        let (_, recovery) = open_on(&vfs, WalConfig::default());
+        assert_eq!(recovery.head_epoch(), 2, "the unacknowledged epoch 3 is honestly gone");
+    }
+
+    #[test]
+    fn enospc_is_fatal_not_transient() {
+        let (sim, vfs) = sim();
+        let wal = create_on(&vfs, WalConfig::default());
+        let inst = commit_n(&wal, 1);
+        sim.set_plan(FaultPlan::none().fail_writes(1, Fault::NoSpace));
+        let mut inst2 = inst.clone();
+        inst2.insert("r2", region(2));
+        let err = wal.append_batch(&batch(2, "r2", region(2)), &inst2).unwrap_err();
+        assert!(matches!(err, WalError::Io { kind: VfsErrorKind::NoSpace, .. }), "{err:?}");
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn crash_fault_snapshots_only_synced_state() {
+        let (sim, vfs) = sim();
+        let cfg = WalConfig::default().with_sync(SyncPolicy::None);
+        let wal = create_on(&vfs, cfg);
+        let mut inst = commit_n(&wal, 2); // never synced under SyncPolicy::None
+        wal.sync().unwrap(); // ... until now: epochs 1..=2 are durable
+        inst.insert("r3", region(3));
+        let out = wal.append_batch(&batch(3, "r3", region(3)), &inst).unwrap();
+        assert!(out.maintenance.is_none());
+
+        sim.set_plan(FaultPlan::none().at(sim.io_points(), Fault::Crash));
+        let mut inst4 = inst.clone();
+        inst4.insert("r4", region(4));
+        let err = wal.append_batch(&batch(4, "r4", region(4)), &inst4).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(sim.crashed());
+        std::mem::forget(wal);
+
+        sim.power_cycle();
+        let (_, recovery) = open_on(&vfs, cfg);
+        assert_eq!(recovery.head_epoch(), 2, "unsynced epoch 3 died with the machine");
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_in_their_seed() {
+        for seed in 0..32u64 {
+            let a = format!("{:?}", FaultPlan::random(seed, 64));
+            let b = format!("{:?}", FaultPlan::random(seed, 64));
+            assert_eq!(a, b, "seed {seed}");
+        }
+        // ... and not all identical.
+        let distinct: std::collections::BTreeSet<String> =
+            (0..32u64).map(|s| format!("{:?}", FaultPlan::random(s, 64))).collect();
+        assert!(distinct.len() > 8, "schedules should vary across seeds: {}", distinct.len());
     }
 }

@@ -23,8 +23,8 @@ use crate::checkpoint::{parse_checkpoint_name, read_checkpoint};
 use crate::error::WalError;
 use crate::record::BatchRecord;
 use crate::segment::{parse_segment_name, scan_segment};
+use crate::vfs::Vfs;
 use spatial_core::instance::SpatialInstance;
-use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Everything recovery learned from the directory: the base state and the
@@ -74,24 +74,17 @@ impl Recovery {
     }
 }
 
-fn list_dir(dir: &Path) -> Result<Vec<(String, PathBuf)>, WalError> {
-    let entries =
-        fs::read_dir(dir).map_err(|e| WalError::io(format!("read dir {}", dir.display()), &e))?;
-    let mut out = Vec::new();
-    for entry in entries {
-        let entry =
-            entry.map_err(|e| WalError::io(format!("read dir {}", dir.display()), &e))?;
-        if let Some(name) = entry.file_name().to_str() {
-            out.push((name.to_string(), entry.path()));
-        }
-    }
-    Ok(out)
+fn list_dir(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(String, PathBuf)>, WalError> {
+    let names = vfs
+        .list_dir(dir)
+        .map_err(|e| WalError::io(format!("read dir {}", dir.display()), &e))?;
+    Ok(names.into_iter().map(|name| (name.clone(), dir.join(name))).collect())
 }
 
-/// Scan `dir` and reconstruct the committed history. Read-only: torn tails
-/// are noted but not truncated (the writable open does that).
-pub fn scan_dir(dir: &Path) -> Result<Recovery, WalError> {
-    let files = list_dir(dir)?;
+/// Scan `dir` on `vfs` and reconstruct the committed history. Read-only:
+/// torn tails are noted but not truncated (the writable open does that).
+pub fn scan_dir(vfs: &dyn Vfs, dir: &Path) -> Result<Recovery, WalError> {
+    let files = list_dir(vfs, dir)?;
 
     let newest_checkpoint = files
         .iter()
@@ -103,7 +96,7 @@ pub fn scan_dir(dir: &Path) -> Result<Recovery, WalError> {
             detail: "no checkpoint file found".to_string(),
         });
     };
-    let (checkpoint_epoch, checkpoint_instance) = read_checkpoint(ckpt_path)?;
+    let (checkpoint_epoch, checkpoint_instance) = read_checkpoint(vfs, ckpt_path)?;
 
     let mut segments: Vec<(u64, String, PathBuf)> = files
         .iter()
@@ -120,7 +113,8 @@ pub fn scan_dir(dir: &Path) -> Result<Recovery, WalError> {
     let mut prev_epoch = checkpoint_epoch;
     let last_idx = segments.len().wrapping_sub(1);
     for (idx, (_, name, path)) in segments.iter().enumerate() {
-        let bytes = fs::read(path)
+        let bytes = vfs
+            .read(path)
             .map_err(|e| WalError::io(format!("read segment {}", path.display()), &e))?;
         let scan = scan_segment(&bytes, name, idx == last_idx, prev_epoch)?;
         prev_epoch += scan.records.len() as u64;
@@ -141,15 +135,14 @@ pub fn scan_dir(dir: &Path) -> Result<Recovery, WalError> {
 /// Best-effort removal of files a checkpoint made obsolete: temp leftovers,
 /// checkpoints older than `keep_epoch`, and segments entirely at or below
 /// it. Failures are ignored — recovery skips these files anyway.
-pub(crate) fn remove_stale(dir: &Path, keep_epoch: u64) {
-    let Ok(files) = fs::read_dir(dir) else { return };
-    for entry in files.flatten() {
-        let Some(name) = entry.file_name().to_str().map(str::to_string) else { continue };
+pub(crate) fn remove_stale(vfs: &dyn Vfs, dir: &Path, keep_epoch: u64) {
+    let Ok(names) = vfs.list_dir(dir) else { return };
+    for name in names {
         let stale = name.ends_with(".tmp")
             || parse_checkpoint_name(&name).is_some_and(|e| e < keep_epoch)
             || parse_segment_name(&name).is_some_and(|e| e <= keep_epoch);
         if stale {
-            let _ = fs::remove_file(entry.path());
+            let _ = vfs.remove_file(&dir.join(name));
         }
     }
 }

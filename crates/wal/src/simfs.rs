@@ -1,0 +1,479 @@
+//! [`SimFs`]: a deterministic in-memory filesystem with seeded fault
+//! injection.
+//!
+//! Every [`Vfs`] operation is a numbered *I/O point*; a [`FaultPlan`]
+//! decides, per point, whether the operation succeeds or suffers one of
+//! the faults real disks produce:
+//!
+//! - **Transient** (`EINTR`-style): the call fails, nothing changed.
+//! - **Torn write**: only a prefix of the buffer reaches the file before
+//!   the call fails.
+//! - **No space** (`ENOSPC`): the call fails without effect.
+//! - **Failed fsync**: the *unsynced bytes are dropped* before the error
+//!   is returned — fsync-gate semantics; retrying the sync cannot bring
+//!   them back.
+//! - **Crash**: the simulated machine powers off. Every subsequent
+//!   operation fails until [`SimFs::power_cycle`], which reverts every
+//!   file to its last-synced content.
+//!
+//! File *content* is durable only up to the last successful
+//! [`VfsFile::sync_all`]; metadata operations (create, rename, remove,
+//! truncate) are modeled as immediately durable, matching the
+//! directory-fsync discipline the log already follows on the real
+//! filesystem.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::vfs::{Vfs, VfsError, VfsErrorKind, VfsFile};
+
+/// A single injected fault, applied at one I/O point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail with an `EINTR`-style transient error; no state changes.
+    Transient,
+    /// On a write: keep only `keep` bytes of the buffer, then fail.
+    /// On any other operation this degrades to [`Fault::Transient`].
+    Torn {
+        /// How many bytes of the attempted buffer reach the file.
+        keep: usize,
+    },
+    /// Fail with `ENOSPC`; no state changes.
+    NoSpace,
+    /// On a sync: drop the unsynced bytes, then fail (fsync-gate). On any
+    /// other operation this degrades to [`Fault::Transient`].
+    SyncFail,
+    /// Power loss: the operation fails and every later operation fails
+    /// until [`SimFs::power_cycle`].
+    Crash,
+}
+
+/// The class of I/O operation hitting a fault point; lets a [`FaultPlan`]
+/// target appends, fsyncs, or directory fsyncs specifically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpClass {
+    Write,
+    Sync,
+    DirSync,
+    Meta,
+}
+
+/// A deterministic schedule of faults for a [`SimFs`].
+///
+/// Faults can be pinned to absolute I/O point numbers ([`FaultPlan::at`]),
+/// queued against the next operations of a class
+/// ([`FaultPlan::fail_writes`], [`FaultPlan::fail_syncs`],
+/// [`FaultPlan::fail_dir_syncs`]), generated pseudo-randomly from a seed
+/// ([`FaultPlan::random`]), or drawn probabilistically per write
+/// ([`FaultPlan::transient_write_rate`]).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    by_point: BTreeMap<u64, Fault>,
+    write_queue: VecDeque<Fault>,
+    sync_queue: VecDeque<Fault>,
+    dir_sync_queue: VecDeque<Fault>,
+    /// (probability numerator out of 1<<32, rng state) for per-write
+    /// transient faults.
+    write_rate: Option<(u64, u64)>,
+}
+
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Injects `fault` at absolute I/O point `point` (points number
+    /// operations from 0 in execution order).
+    pub fn at(mut self, point: u64, fault: Fault) -> Self {
+        self.by_point.insert(point, fault);
+        self
+    }
+
+    /// Queues `fault` against each of the next `count` file-write
+    /// operations.
+    pub fn fail_writes(mut self, count: usize, fault: Fault) -> Self {
+        self.write_queue.extend(std::iter::repeat_n(fault, count));
+        self
+    }
+
+    /// Queues `fault` against each of the next `count` file fsyncs.
+    pub fn fail_syncs(mut self, count: usize, fault: Fault) -> Self {
+        self.sync_queue.extend(std::iter::repeat_n(fault, count));
+        self
+    }
+
+    /// Queues `fault` against each of the next `count` directory fsyncs.
+    pub fn fail_dir_syncs(mut self, count: usize, fault: Fault) -> Self {
+        self.dir_sync_queue.extend(std::iter::repeat_n(fault, count));
+        self
+    }
+
+    /// Makes each file write fail transiently with probability `rate`
+    /// (clamped to `[0, 1]`), drawn deterministically from `seed`.
+    pub fn transient_write_rate(mut self, rate: f64, seed: u64) -> Self {
+        let clamped = rate.clamp(0.0, 1.0);
+        let threshold = (clamped * (1u64 << 32) as f64) as u64;
+        self.write_rate = Some((threshold, seed));
+        self
+    }
+
+    /// Generates a schedule of 1–3 faults at pseudo-random points in
+    /// `0..horizon`, with kinds weighted toward the interesting cases
+    /// (transients and torn writes most common, crashes and failed fsyncs
+    /// rarer). Deterministic in `seed`.
+    pub fn random(seed: u64, horizon: u64) -> Self {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let mut plan = FaultPlan::none();
+        let count = 1 + (split_mix(&mut state) % 3);
+        for _ in 0..count {
+            let point = split_mix(&mut state) % horizon.max(1);
+            let kind = match split_mix(&mut state) % 100 {
+                0..=34 => Fault::Transient,
+                35..=54 => Fault::Torn { keep: (split_mix(&mut state) % 48) as usize },
+                55..=69 => Fault::SyncFail,
+                70..=79 => Fault::NoSpace,
+                _ => Fault::Crash,
+            };
+            plan.by_point.insert(point, kind);
+        }
+        plan
+    }
+
+    fn pick(&mut self, point: u64, class: OpClass) -> Option<Fault> {
+        let queued = match class {
+            OpClass::Write => self.write_queue.pop_front(),
+            OpClass::Sync => self.sync_queue.pop_front(),
+            OpClass::DirSync => self.dir_sync_queue.pop_front(),
+            OpClass::Meta => None,
+        };
+        if queued.is_some() {
+            return queued;
+        }
+        if let Some(fault) = self.by_point.remove(&point) {
+            return Some(fault);
+        }
+        if class == OpClass::Write {
+            if let Some((threshold, state)) = self.write_rate.as_mut() {
+                if split_mix(state) & 0xFFFF_FFFF < *threshold {
+                    return Some(Fault::Transient);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct SimFileState {
+    /// Current content, as the application sees it.
+    data: Vec<u8>,
+    /// Content guaranteed to survive a crash (up to the last fsync, or
+    /// the last durable metadata operation that rewrote the file).
+    synced: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<PathBuf, SimFileState>,
+    dirs: BTreeSet<PathBuf>,
+    plan: FaultPlan,
+    io_points: u64,
+    crashed: bool,
+}
+
+impl SimState {
+    /// Numbers this operation, consults the plan, and applies any
+    /// non-write fault. Returns the fault for the caller to apply when it
+    /// needs buffer context (torn writes, fsync drops).
+    fn fault_point(&mut self, class: OpClass, what: &str) -> Result<Option<Fault>, VfsError> {
+        if self.crashed {
+            return Err(VfsError::new(
+                VfsErrorKind::Other,
+                format!("{what}: simulated machine is powered off"),
+            ));
+        }
+        let point = self.io_points;
+        self.io_points += 1;
+        let Some(fault) = self.plan.pick(point, class) else {
+            return Ok(None);
+        };
+        match fault {
+            Fault::Transient => Err(VfsError::new(
+                VfsErrorKind::Interrupted,
+                format!("{what}: simulated transient fault at io point {point}"),
+            )),
+            Fault::NoSpace => Err(VfsErrorKind::NoSpace)
+                .map_err(|k| VfsError::new(k, format!("{what}: simulated ENOSPC at io point {point}"))),
+            Fault::Crash => {
+                self.crashed = true;
+                Err(VfsError::new(
+                    VfsErrorKind::Other,
+                    format!("{what}: simulated power loss at io point {point}"),
+                ))
+            }
+            Fault::Torn { .. } if class != OpClass::Write => Err(VfsError::new(
+                VfsErrorKind::Interrupted,
+                format!("{what}: simulated transient fault at io point {point}"),
+            )),
+            Fault::SyncFail if !matches!(class, OpClass::Sync | OpClass::DirSync) => {
+                Err(VfsError::new(
+                    VfsErrorKind::Interrupted,
+                    format!("{what}: simulated transient fault at io point {point}"),
+                ))
+            }
+            fault => Ok(Some(fault)),
+        }
+    }
+
+    fn file_mut(&mut self, path: &Path, what: &str) -> Result<&mut SimFileState, VfsError> {
+        self.files.get_mut(path).ok_or_else(|| {
+            VfsError::new(VfsErrorKind::NotFound, format!("{what}: no such file: {}", path.display()))
+        })
+    }
+}
+
+/// The deterministic in-memory [`Vfs`]. Cloning shares the same
+/// filesystem state, so a handle kept by a test can inspect (or
+/// [power-cycle](SimFs::power_cycle)) storage owned by a live log.
+#[derive(Clone, Debug, Default)]
+pub struct SimFs {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimFs {
+    /// An empty in-memory filesystem with no fault plan.
+    pub fn new() -> Self {
+        SimFs::default()
+    }
+
+    /// An empty in-memory filesystem that will execute `plan`.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        let fs = SimFs::new();
+        fs.set_plan(plan);
+        fs
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        // Sim state is plain data; a panicking holder cannot leave it
+        // logically inconsistent, so poison is survivable.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Replaces the fault plan (unfired faults from the old plan are
+    /// dropped).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.lock().plan = plan;
+    }
+
+    /// The number of I/O points executed so far.
+    pub fn io_points(&self) -> u64 {
+        self.lock().io_points
+    }
+
+    /// Whether a [`Fault::Crash`] has fired (and the machine is still
+    /// off).
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Simulates power-on after a crash: every file reverts to its
+    /// last-synced content, the crashed flag clears, and any remaining
+    /// fault plan is discarded.
+    pub fn power_cycle(&self) {
+        let mut st = self.lock();
+        for file in st.files.values_mut() {
+            file.data = file.synced.clone();
+        }
+        st.crashed = false;
+        st.plan = FaultPlan::none();
+    }
+}
+
+#[derive(Debug)]
+struct SimHandle {
+    state: Arc<Mutex<SimState>>,
+    path: PathBuf,
+}
+
+impl SimHandle {
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl VfsFile for SimHandle {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        let fault = st.fault_point(OpClass::Write, "write")?;
+        if let Some(Fault::Torn { keep }) = fault {
+            let keep = keep.min(buf.len());
+            let path = self.path.clone();
+            let file = st.file_mut(&path, "write")?;
+            file.data.extend_from_slice(&buf[..keep]);
+            return Err(VfsError::new(
+                VfsErrorKind::Interrupted,
+                format!("write {}: simulated torn write ({keep} of {} bytes)", self.path.display(), buf.len()),
+            ));
+        }
+        let path = self.path.clone();
+        let file = st.file_mut(&path, "write")?;
+        file.data.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        let fault = st.fault_point(OpClass::Sync, "fsync")?;
+        let path = self.path.clone();
+        let file = st.file_mut(&path, "fsync")?;
+        if let Some(Fault::SyncFail | Fault::Torn { .. }) = fault {
+            // fsync-gate: the failed sync drops the dirty pages.
+            file.data = file.synced.clone();
+            return Err(VfsError::new(
+                VfsErrorKind::Other,
+                format!("fsync {}: simulated fsync failure; unsynced bytes dropped", self.path.display()),
+            ));
+        }
+        file.synced = file.data.clone();
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "truncate")?;
+        let path = self.path.clone();
+        let file = st.file_mut(&path, "truncate")?;
+        file.data.truncate(len as usize);
+        Ok(())
+    }
+}
+
+impl Vfs for SimFs {
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "mkdir")?;
+        st.dirs.insert(dir.to_path_buf());
+        Ok(())
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<String>, VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "readdir")?;
+        if !st.dirs.contains(dir) {
+            return Err(VfsError::new(
+                VfsErrorKind::NotFound,
+                format!("readdir: no such directory: {}", dir.display()),
+            ));
+        }
+        Ok(st
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(str::to_string))
+            .collect())
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "read")?;
+        st.file_mut(path, "read").map(|f| f.data.clone())
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "write file")?;
+        let entry = st.files.entry(path.to_path_buf()).or_default();
+        entry.data = bytes.to_vec();
+        // A whole-file rewrite is a harness operation (byte flipping);
+        // model it as durable so corruption survives a reopen.
+        entry.synced = bytes.to_vec();
+        Ok(())
+    }
+
+    fn create(&self, path: &Path) -> Result<Box<dyn VfsFile>, VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "create")?;
+        st.files.insert(path.to_path_buf(), SimFileState::default());
+        drop(st);
+        Ok(Box::new(SimHandle { state: Arc::clone(&self.state), path: path.to_path_buf() }))
+    }
+
+    fn open_append(&self, path: &Path) -> Result<Box<dyn VfsFile>, VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "open")?;
+        st.file_mut(path, "open")?;
+        drop(st);
+        Ok(Box::new(SimHandle { state: Arc::clone(&self.state), path: path.to_path_buf() }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "truncate")?;
+        let file = st.file_mut(path, "truncate")?;
+        file.data.truncate(len as usize);
+        // A durable truncate (truncate + fsync) pins the surviving prefix.
+        file.synced = file.data.clone();
+        Ok(())
+    }
+
+    fn len(&self, path: &Path) -> Result<u64, VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "stat")?;
+        st.file_mut(path, "stat").map(|f| f.data.len() as u64)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "rename")?;
+        let Some(file) = st.files.remove(from) else {
+            return Err(VfsError::new(
+                VfsErrorKind::NotFound,
+                format!("rename: no such file: {}", from.display()),
+            ));
+        };
+        st.files.insert(to.to_path_buf(), file);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "remove")?;
+        if st.files.remove(path).is_none() {
+            return Err(VfsError::new(
+                VfsErrorKind::NotFound,
+                format!("remove: no such file: {}", path.display()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn remove_dir_all(&self, dir: &Path) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        st.fault_point(OpClass::Meta, "rmdir")?;
+        st.files.retain(|p, _| !p.starts_with(dir));
+        st.dirs.retain(|d| !d.starts_with(dir));
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), VfsError> {
+        let mut st = self.lock();
+        let fault = st.fault_point(OpClass::DirSync, "fsync dir")?;
+        if fault.is_some() {
+            return Err(VfsError::new(
+                VfsErrorKind::Other,
+                format!("fsync dir {}: simulated directory fsync failure", dir.display()),
+            ));
+        }
+        Ok(())
+    }
+}

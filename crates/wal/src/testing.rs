@@ -6,27 +6,30 @@
 //! just enough framing knowledge (record boundaries, payload extents) for
 //! those tests to aim precisely without re-implementing the format.
 //!
+//! Every helper takes the [`Vfs`] the log lives on and returns `Result`,
+//! so the same harness drives both the on-disk truncation suites and the
+//! [`SimFs`](crate::SimFs) chaos suites.
+//!
 //! This module is test *support*, not part of the durability API: nothing
 //! here is used by the writer or recovery paths.
 
+use crate::error::WalError;
 use crate::record::RECORD_HEADER_LEN;
 use crate::segment::{parse_segment_name, SEGMENT_HEADER_LEN};
-use std::fs::{self, OpenOptions};
+use crate::vfs::Vfs;
 use std::path::{Path, PathBuf};
 
 /// The log's segment files under `dir`, sorted by first epoch.
-pub fn segment_files(dir: &Path) -> Vec<PathBuf> {
-    let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+pub fn segment_files(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<PathBuf>, WalError> {
+    let names = vfs
+        .list_dir(dir)
+        .map_err(|e| WalError::io(format!("read dir {}", dir.display()), &e))?;
+    let mut segments: Vec<(u64, PathBuf)> = names
         .into_iter()
-        .flatten()
-        .flatten()
-        .filter_map(|entry| {
-            let name = entry.file_name();
-            parse_segment_name(name.to_str()?).map(|e| (e, entry.path()))
-        })
+        .filter_map(|name| parse_segment_name(&name).map(|e| (e, dir.join(name))))
         .collect();
     segments.sort_by_key(|(e, _)| *e);
-    segments.into_iter().map(|(_, p)| p).collect()
+    Ok(segments.into_iter().map(|(_, p)| p).collect())
 }
 
 /// Byte offsets of the record boundaries in a segment file: the offset at
@@ -37,11 +40,13 @@ pub fn segment_files(dir: &Path) -> Vec<PathBuf> {
 ///
 /// Walks raw framing only (lengths, not checksums), so it also works on
 /// files the test has already corrupted.
-pub fn record_boundaries(path: &Path) -> Vec<u64> {
-    let bytes = fs::read(path).unwrap_or_default();
+pub fn record_boundaries(vfs: &dyn Vfs, path: &Path) -> Result<Vec<u64>, WalError> {
+    let bytes = vfs
+        .read(path)
+        .map_err(|e| WalError::io(format!("read {}", path.display()), &e))?;
     let mut boundaries = Vec::new();
     if bytes.len() < SEGMENT_HEADER_LEN {
-        return boundaries;
+        return Ok(boundaries);
     }
     boundaries.push(SEGMENT_HEADER_LEN as u64);
     let mut pos = SEGMENT_HEADER_LEN;
@@ -54,61 +59,77 @@ pub fn record_boundaries(path: &Path) -> Vec<u64> {
         boundaries.push(end as u64);
         pos = end;
     }
-    boundaries
+    Ok(boundaries)
+}
+
+/// The current length of a log file in bytes.
+pub fn file_len(vfs: &dyn Vfs, path: &Path) -> Result<u64, WalError> {
+    vfs.len(path).map_err(|e| WalError::io(format!("stat {}", path.display()), &e))
 }
 
 /// Truncate the file to exactly `len` bytes — the crash simulator.
-pub fn truncate_at(path: &Path, len: u64) {
-    let file = OpenOptions::new().write(true).open(path).expect("open for truncate");
-    file.set_len(len).expect("truncate");
-    file.sync_all().expect("fsync after truncate");
+pub fn truncate_at(vfs: &dyn Vfs, path: &Path, len: u64) -> Result<(), WalError> {
+    vfs.truncate(path, len)
+        .map_err(|e| WalError::io(format!("truncate {}", path.display()), &e))
 }
 
 /// XOR one byte of the file at `offset` — the bit-rot simulator.
-pub fn flip_byte(path: &Path, offset: u64) {
-    let mut bytes = fs::read(path).expect("read for flip");
+pub fn flip_byte(vfs: &dyn Vfs, path: &Path, offset: u64) -> Result<(), WalError> {
+    let mut bytes = vfs
+        .read(path)
+        .map_err(|e| WalError::io(format!("read {}", path.display()), &e))?;
     let i = offset as usize;
     assert!(i < bytes.len(), "flip offset {offset} past end of {}", path.display());
     bytes[i] ^= 0x5A;
-    fs::write(path, bytes).expect("write flipped bytes");
+    vfs.write(path, &bytes)
+        .map_err(|e| WalError::io(format!("write {}", path.display()), &e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::record::{BatchRecord, WalOp};
+    use crate::simfs::SimFs;
     use crate::writer::{Wal, WalConfig};
     use spatial_core::instance::SpatialInstance;
     use spatial_core::region::Region;
+    use std::sync::Arc;
 
     #[test]
     fn boundaries_track_appends() {
-        let dir = std::env::temp_dir().join(format!("wal-testing-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        let wal = Wal::create(&dir, 0, &SpatialInstance::new(), WalConfig::default()).unwrap();
+        let sim = SimFs::new();
+        let dir = Path::new("/db");
+        let wal = Wal::create_with_vfs(
+            Arc::new(sim.clone()),
+            dir,
+            0,
+            &SpatialInstance::new(),
+            WalConfig::default(),
+        )
+        .unwrap();
         let mut inst = SpatialInstance::new();
         for epoch in 1..=3u64 {
             let name = format!("r{epoch}");
             let region = Region::rect_from_ints(0, 0, epoch as i64, 1);
             inst.insert(name.clone(), region.clone());
-            wal.append_batch(
-                &BatchRecord {
-                    epoch,
-                    ops: vec![WalOp::Insert(name.clone(), region)],
-                    changed: vec![name],
-                },
-                &inst,
-            )
-            .unwrap();
+            let outcome = wal
+                .append_batch(
+                    &BatchRecord {
+                        epoch,
+                        ops: vec![WalOp::Insert(name.clone(), region)],
+                        changed: vec![name],
+                    },
+                    &inst,
+                )
+                .unwrap();
+            assert!(outcome.maintenance.is_none());
         }
-        let segments = segment_files(&dir);
+        let segments = segment_files(&sim, dir).unwrap();
         assert_eq!(segments.len(), 1);
-        let boundaries = record_boundaries(&segments[0]);
+        let boundaries = record_boundaries(&sim, &segments[0]).unwrap();
         // Header end + one boundary per record.
         assert_eq!(boundaries.len(), 4);
         assert_eq!(boundaries[0], SEGMENT_HEADER_LEN as u64);
-        assert_eq!(boundaries[3], fs::metadata(&segments[0]).unwrap().len());
-        drop(wal);
-        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(boundaries[3], file_len(&sim, &segments[0]).unwrap());
     }
 }

@@ -1,0 +1,261 @@
+//! Pluggable storage backend: the [`Vfs`] trait and its default
+//! implementation, [`RealFs`].
+//!
+//! Every I/O site in this crate goes through a `Vfs` trait object; the
+//! operating-system filesystem is just the default implementation. This is
+//! the `IOTypes` trick from rUniversalDB applied to storage: with the
+//! environment behind a trait, the whole log can run against the
+//! deterministic in-memory [`SimFs`](crate::SimFs) and be subjected to
+//! seeded fault schedules (torn writes, failed fsyncs, `ENOSPC`, power
+//! loss) that no real disk will produce on demand.
+//!
+//! This module is the **only** place in the crate allowed to touch
+//! `std::fs` (CI enforces that with a grep check); everything else speaks
+//! [`Vfs`] / [`VfsFile`].
+
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Coarse classification of a storage error, preserved from the backend so
+/// callers can decide whether an operation is worth retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VfsErrorKind {
+    /// The call was interrupted before completing (`EINTR`-style). The
+    /// operation did not happen (or only partially happened, for writes)
+    /// and retrying it is reasonable.
+    Interrupted,
+    /// The device is out of space (`ENOSPC`). Retrying without freeing
+    /// space will not help.
+    NoSpace,
+    /// The named file or directory does not exist.
+    NotFound,
+    /// Anything else: permission errors, device failures, failed fsyncs.
+    Other,
+}
+
+impl fmt::Display for VfsErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            VfsErrorKind::Interrupted => "interrupted",
+            VfsErrorKind::NoSpace => "no space",
+            VfsErrorKind::NotFound => "not found",
+            VfsErrorKind::Other => "io error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A storage error from a [`Vfs`] backend: a [`VfsErrorKind`] plus a
+/// human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VfsError {
+    /// Retryability classification of the failure.
+    pub kind: VfsErrorKind,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl VfsError {
+    /// Builds an error of the given kind with a message.
+    pub fn new(kind: VfsErrorKind, message: impl Into<String>) -> Self {
+        VfsError { kind, message: message.into() }
+    }
+
+    /// Converts a `std::io::Error`, mapping the libc error classes the
+    /// failure model cares about (`EINTR`, `ENOSPC`, `ENOENT`) and
+    /// collapsing the rest to [`VfsErrorKind::Other`].
+    pub fn from_io(err: &std::io::Error) -> Self {
+        let kind = match err.kind() {
+            std::io::ErrorKind::Interrupted => VfsErrorKind::Interrupted,
+            std::io::ErrorKind::NotFound => VfsErrorKind::NotFound,
+            std::io::ErrorKind::StorageFull => VfsErrorKind::NoSpace,
+            _ if err.raw_os_error() == Some(28) => VfsErrorKind::NoSpace,
+            _ => VfsErrorKind::Other,
+        };
+        VfsError { kind, message: err.to_string() }
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.kind)
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// An open file handle from a [`Vfs`] backend.
+///
+/// Handles are positioned at the end of the file and only ever append or
+/// truncate — the log never seeks into the middle of a segment through a
+/// live handle (reads go through [`Vfs::read`] on a quiesced file).
+pub trait VfsFile: Send + fmt::Debug {
+    /// Appends all of `buf` at the end of the file.
+    ///
+    /// On failure an unknown prefix of `buf` may have reached the file
+    /// (a torn write); callers must restore their framing invariant (see
+    /// [`VfsFile::set_len`]) before writing anything else.
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), VfsError>;
+
+    /// Flushes file content to durable storage.
+    ///
+    /// Failure follows fsync-gate semantics: the kernel may have *dropped*
+    /// the dirty pages, so the unsynced tail must be considered lost — a
+    /// failed sync is never retryable on the same handle.
+    fn sync_all(&mut self) -> Result<(), VfsError>;
+
+    /// Truncates the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> Result<(), VfsError>;
+}
+
+/// A pluggable filesystem: everything the write-ahead log needs from the
+/// environment, as a trait object.
+///
+/// Implementations must be safe to share across threads; the log holds one
+/// behind an `Arc<dyn Vfs>`.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError>;
+
+    /// Returns the file names (not paths) of the plain files in `dir`.
+    fn list_dir(&self, dir: &Path) -> Result<Vec<String>, VfsError>;
+
+    /// Reads the entire content of `path`.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError>;
+
+    /// Replaces the content of `path` with `bytes` (creating it if
+    /// missing), without any durability guarantee. Used by test harnesses;
+    /// the log itself writes through handles.
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError>;
+
+    /// Creates (or truncates) `path` and returns an append handle.
+    fn create(&self, path: &Path) -> Result<Box<dyn VfsFile>, VfsError>;
+
+    /// Opens an existing `path` for appending.
+    fn open_append(&self, path: &Path) -> Result<Box<dyn VfsFile>, VfsError>;
+
+    /// Durably truncates `path` to `len` bytes (truncate + fsync).
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), VfsError>;
+
+    /// Returns the length of `path` in bytes.
+    fn len(&self, path: &Path) -> Result<u64, VfsError>;
+
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError>;
+
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> Result<(), VfsError>;
+
+    /// Removes `dir` and everything under it.
+    fn remove_dir_all(&self, dir: &Path) -> Result<(), VfsError>;
+
+    /// Flushes the directory entry metadata of `dir` (renames, creations)
+    /// to durable storage.
+    fn sync_dir(&self, dir: &Path) -> Result<(), VfsError>;
+}
+
+/// The default [`Vfs`]: the operating-system filesystem via `std::fs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RealFs;
+
+impl RealFs {
+    /// A shared handle to the real filesystem.
+    pub fn shared() -> Arc<dyn Vfs> {
+        Arc::new(RealFs)
+    }
+}
+
+fn map_io<T>(res: std::io::Result<T>) -> Result<T, VfsError> {
+    res.map_err(|e| VfsError::from_io(&e))
+}
+
+#[derive(Debug)]
+struct RealFile {
+    file: fs::File,
+}
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), VfsError> {
+        map_io(self.file.write_all(buf))
+    }
+
+    fn sync_all(&mut self) -> Result<(), VfsError> {
+        map_io(self.file.sync_all())
+    }
+
+    fn set_len(&mut self, len: u64) -> Result<(), VfsError> {
+        map_io(self.file.set_len(len))
+    }
+}
+
+impl Vfs for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> Result<(), VfsError> {
+        map_io(fs::create_dir_all(dir))
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<String>, VfsError> {
+        let mut names = Vec::new();
+        for entry in map_io(fs::read_dir(dir))? {
+            let entry = map_io(entry)?;
+            if map_io(entry.file_type())?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, VfsError> {
+        let mut file = map_io(fs::File::open(path))?;
+        let mut bytes = Vec::new();
+        map_io(file.read_to_end(&mut bytes))?;
+        Ok(bytes)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), VfsError> {
+        map_io(fs::write(path, bytes))
+    }
+
+    fn create(&self, path: &Path) -> Result<Box<dyn VfsFile>, VfsError> {
+        let file = map_io(fs::File::create(path))?;
+        Ok(Box::new(RealFile { file }))
+    }
+
+    fn open_append(&self, path: &Path) -> Result<Box<dyn VfsFile>, VfsError> {
+        let file = map_io(fs::OpenOptions::new().append(true).open(path))?;
+        Ok(Box::new(RealFile { file }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<(), VfsError> {
+        let file = map_io(fs::OpenOptions::new().write(true).open(path))?;
+        map_io(file.set_len(len))?;
+        map_io(file.sync_all())
+    }
+
+    fn len(&self, path: &Path) -> Result<u64, VfsError> {
+        Ok(map_io(fs::metadata(path))?.len())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), VfsError> {
+        map_io(fs::rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<(), VfsError> {
+        map_io(fs::remove_file(path))
+    }
+
+    fn remove_dir_all(&self, dir: &Path) -> Result<(), VfsError> {
+        map_io(fs::remove_dir_all(dir))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), VfsError> {
+        // Directories cannot be opened writable; fsync on a read handle is
+        // how POSIX flushes directory entries.
+        let dir = map_io(fs::File::open(dir))?;
+        map_io(dir.sync_all())
+    }
+}

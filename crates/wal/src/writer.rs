@@ -7,17 +7,35 @@
 //! another order (the facade's log-before-publish protocol) serialize
 //! *around* the WAL with their own lock; the WAL's mutex only protects its
 //! file state.
+//!
+//! All I/O goes through a [`Vfs`] trait object (default: [`RealFs`]), so
+//! the same appender runs against the fault-injecting
+//! [`SimFs`](crate::SimFs). The failure discipline (see the crate-level
+//! "Failure model"):
+//!
+//! * a failed **append** leaves a possibly-torn tail past the last record
+//!   boundary; the appender remembers it and truncates back to the
+//!   boundary before the next append, so retrying a transiently-failed
+//!   append is always safe;
+//! * a failed **fsync** is fatal for this appender: the kernel may have
+//!   dropped the dirty pages (fsync-gate), so the on-disk tail state is
+//!   unknown and the appender refuses all further work rather than build
+//!   on it — reopening the directory re-establishes a known-good tail;
+//! * a failed **checkpoint or rotation** after a durable append is a
+//!   *maintenance* failure: the record is safe, so the append is reported
+//!   as successful with the maintenance error carried alongside
+//!   ([`AppendOutcome::maintenance`]) for the caller's health accounting.
 
 use crate::checkpoint::write_checkpoint;
 use crate::error::WalError;
 use crate::record::BatchRecord;
 use crate::recovery::{remove_stale, scan_dir, Recovery};
 use crate::segment::{encode_segment_header, segment_file_name, SEGMENT_HEADER_LEN};
+use crate::vfs::{RealFs, Vfs, VfsErrorKind, VfsFile};
 use spatial_core::instance::SpatialInstance;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// When appended records are forced to stable storage.
@@ -77,11 +95,52 @@ impl WalConfig {
     }
 }
 
+/// Counters for degraded-but-survivable storage events the log absorbed
+/// rather than failed on.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Directory fsyncs that kept failing after transient retries and
+    /// were downgraded to best-effort (narrowing the durability window of
+    /// one checkpoint rename, never consistency).
+    pub(crate) dir_sync_downgrades: AtomicU64,
+}
+
+impl WalStats {
+    /// How many checkpoint directory fsyncs were downgraded to
+    /// best-effort.
+    pub fn dir_sync_downgrades(&self) -> u64 {
+        self.dir_sync_downgrades.load(Ordering::Relaxed)
+    }
+}
+
+/// The result of a successful append.
+///
+/// The record itself is durably framed in the log (to the configured
+/// [`SyncPolicy`]); `maintenance` carries any *post-append* housekeeping
+/// failure (checkpoint or rotation) that does not retract the append.
+#[derive(Debug)]
+#[must_use = "a maintenance failure must be fed into the caller's health accounting"]
+pub struct AppendOutcome {
+    /// A checkpoint/rotation failure that happened after the record was
+    /// safely appended. `None` when housekeeping succeeded (or none was
+    /// due). A fatal maintenance error means the *next* append will
+    /// likely fail — callers should degrade proactively.
+    pub maintenance: Option<WalError>,
+}
+
 #[derive(Debug)]
 struct Appender {
-    file: File,
+    file: Box<dyn VfsFile>,
     seg_path: PathBuf,
+    /// Length of the segment's valid prefix (a record boundary).
     seg_bytes: u64,
+    /// A failed append may have left partial bytes past `seg_bytes`; when
+    /// set, the file is truncated back to the boundary before the next
+    /// write.
+    dirty_tail: bool,
+    /// Set when an fsync failed: the tail's durable state is unknown, so
+    /// the appender refuses further work with this error.
+    broken: Option<WalError>,
     head_epoch: u64,
     checkpoint_epoch: u64,
     records_since_checkpoint: u64,
@@ -94,23 +153,24 @@ struct Appender {
 pub struct Wal {
     dir: PathBuf,
     cfg: WalConfig,
+    vfs: Arc<dyn Vfs>,
+    stats: WalStats,
     inner: Mutex<Appender>,
 }
 
-fn open_for_append(path: &Path) -> Result<File, WalError> {
-    OpenOptions::new()
-        .append(true)
-        .open(path)
+fn open_for_append(vfs: &dyn Vfs, path: &Path) -> Result<Box<dyn VfsFile>, WalError> {
+    vfs.open_append(path)
         .map_err(|e| WalError::io(format!("open {} for append", path.display()), &e))
 }
 
-fn create_segment(dir: &Path, first_epoch: u64) -> Result<(File, PathBuf), WalError> {
+fn create_segment(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    first_epoch: u64,
+) -> Result<(Box<dyn VfsFile>, PathBuf), WalError> {
     let path = dir.join(segment_file_name(first_epoch));
-    let mut file = OpenOptions::new()
-        .create(true)
-        .truncate(true)
-        .write(true)
-        .open(&path)
+    let mut file = vfs
+        .create(&path)
         .map_err(|e| WalError::io(format!("create segment {}", path.display()), &e))?;
     file.write_all(&encode_segment_header(first_epoch))
         .map_err(|e| WalError::io(format!("write header of {}", path.display()), &e))?;
@@ -121,29 +181,46 @@ impl Wal {
     /// Initialize a fresh database at `dir` holding `instance` as epoch
     /// `epoch`: a checkpoint of the instance plus an empty first segment.
     /// Fails with [`WalError::AlreadyExists`] if the directory already
-    /// holds log files.
+    /// holds log files. Uses the real filesystem; see
+    /// [`Wal::create_with_vfs`] for a pluggable backend.
     pub fn create(
         dir: &Path,
         epoch: u64,
         instance: &SpatialInstance,
         cfg: WalConfig,
     ) -> Result<Wal, WalError> {
-        fs::create_dir_all(dir)
+        Wal::create_with_vfs(RealFs::shared(), dir, epoch, instance, cfg)
+    }
+
+    /// [`Wal::create`] on an explicit storage backend.
+    pub fn create_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        epoch: u64,
+        instance: &SpatialInstance,
+        cfg: WalConfig,
+    ) -> Result<Wal, WalError> {
+        vfs.create_dir_all(dir)
             .map_err(|e| WalError::io(format!("create dir {}", dir.display()), &e))?;
-        if scan_dir(dir).is_ok() {
+        if scan_dir(vfs.as_ref(), dir).is_ok() {
             return Err(WalError::AlreadyExists { path: dir.display().to_string() });
         }
-        write_checkpoint(dir, epoch, instance)?;
-        let (file, seg_path) = create_segment(dir, epoch + 1)?;
+        let stats = WalStats::default();
+        write_checkpoint(vfs.as_ref(), dir, epoch, instance, &stats)?;
+        let (mut file, seg_path) = create_segment(vfs.as_ref(), dir, epoch + 1)?;
         file.sync_all()
             .map_err(|e| WalError::io(format!("fsync {}", seg_path.display()), &e))?;
         Ok(Wal {
             dir: dir.to_path_buf(),
             cfg,
+            vfs,
+            stats,
             inner: Mutex::new(Appender {
                 file,
                 seg_path,
                 seg_bytes: SEGMENT_HEADER_LEN as u64,
+                dirty_tail: false,
+                broken: None,
                 head_epoch: epoch,
                 checkpoint_epoch: epoch,
                 records_since_checkpoint: 0,
@@ -155,55 +232,60 @@ impl Wal {
 
     /// Open an existing database: recover the committed history, truncate
     /// any torn tail, and position the appender after the last durable
-    /// record. Returns the log plus what was recovered.
+    /// record. Returns the log plus what was recovered. Uses the real
+    /// filesystem; see [`Wal::open_with_vfs`] for a pluggable backend.
     pub fn open(dir: &Path, cfg: WalConfig) -> Result<(Wal, Recovery), WalError> {
-        let recovery = scan_dir(dir)?;
+        Wal::open_with_vfs(RealFs::shared(), dir, cfg)
+    }
+
+    /// [`Wal::open`] on an explicit storage backend.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        cfg: WalConfig,
+    ) -> Result<(Wal, Recovery), WalError> {
+        let recovery = scan_dir(vfs.as_ref(), dir)?;
         let head_epoch = recovery.head_epoch();
 
         let (file, seg_path, seg_bytes) = match &recovery.tail {
             Some(tail) if tail.valid_len >= SEGMENT_HEADER_LEN as u64 => {
                 // Drop the torn tail so the next append starts at a record
                 // boundary.
-                let file = OpenOptions::new()
-                    .write(true)
-                    .open(&tail.path)
-                    .map_err(|e| {
-                        WalError::io(format!("open {} for truncation", tail.path.display()), &e)
-                    })?;
-                file.set_len(tail.valid_len).map_err(|e| {
+                vfs.truncate(&tail.path, tail.valid_len).map_err(|e| {
                     WalError::io(format!("truncate {}", tail.path.display()), &e)
                 })?;
-                file.sync_all()
-                    .map_err(|e| WalError::io(format!("fsync {}", tail.path.display()), &e))?;
-                drop(file);
-                let file = open_for_append(&tail.path)?;
+                let file = open_for_append(vfs.as_ref(), &tail.path)?;
                 (file, tail.path.clone(), tail.valid_len)
             }
             Some(tail) => {
                 // The final segment died before its header hit the disk;
                 // rebuild it from scratch under the same name.
-                let (file, path) = create_segment(dir, tail.first_epoch)?;
+                let (file, path) = create_segment(vfs.as_ref(), dir, tail.first_epoch)?;
                 (file, path, SEGMENT_HEADER_LEN as u64)
             }
             None => {
                 // Crash between checkpoint rename and segment creation (or
                 // the segment was lost): start the post-checkpoint segment.
-                let (file, path) = create_segment(dir, head_epoch + 1)?;
+                let (file, path) = create_segment(vfs.as_ref(), dir, head_epoch + 1)?;
                 (file, path, SEGMENT_HEADER_LEN as u64)
             }
         };
 
         // A fresh open is a natural moment to sweep files an interrupted
         // checkpoint left behind.
-        remove_stale(dir, recovery.checkpoint_epoch);
+        remove_stale(vfs.as_ref(), dir, recovery.checkpoint_epoch);
 
         let wal = Wal {
             dir: dir.to_path_buf(),
             cfg,
+            vfs,
+            stats: WalStats::default(),
             inner: Mutex::new(Appender {
                 file,
                 seg_path,
                 seg_bytes,
+                dirty_tail: false,
+                broken: None,
                 head_epoch,
                 checkpoint_epoch: recovery.checkpoint_epoch,
                 records_since_checkpoint: head_epoch - recovery.checkpoint_epoch,
@@ -218,7 +300,12 @@ impl Wal {
     /// touching the files (no truncation, no appender). This is what
     /// point-in-time reopen uses — it must not disturb a live database.
     pub fn read(dir: &Path) -> Result<Recovery, WalError> {
-        scan_dir(dir)
+        scan_dir(&RealFs, dir)
+    }
+
+    /// [`Wal::read`] on an explicit storage backend.
+    pub fn read_with_vfs(vfs: &dyn Vfs, dir: &Path) -> Result<Recovery, WalError> {
+        scan_dir(vfs, dir)
     }
 
     /// Append one committed batch. `instance_after` is the full instance
@@ -229,12 +316,31 @@ impl Wal {
     /// The record's epoch must be exactly `head + 1`; the log refuses
     /// out-of-order appends rather than persisting a history recovery
     /// would reject.
+    ///
+    /// `Err` means the record is **not** acknowledged (transient append
+    /// failures are safely retryable — the appender trims any torn bytes
+    /// first). `Ok` means the record is in the log to the configured sync
+    /// policy; see [`AppendOutcome::maintenance`] for post-append
+    /// housekeeping failures.
     pub fn append_batch(
         &self,
         record: &BatchRecord,
         instance_after: &SpatialInstance,
-    ) -> Result<(), WalError> {
+    ) -> Result<AppendOutcome, WalError> {
         let mut app = self.lock();
+        if let Some(broken) = &app.broken {
+            return Err(broken.clone());
+        }
+        if app.dirty_tail {
+            // A previous append failed partway; restore the record
+            // boundary before writing anything else so the retried record
+            // cannot land after torn garbage.
+            let seg_bytes = app.seg_bytes;
+            app.file
+                .set_len(seg_bytes)
+                .map_err(|e| WalError::io(format!("trim {}", app.seg_path.display()), &e))?;
+            app.dirty_tail = false;
+        }
         if record.epoch != app.head_epoch + 1 {
             return Err(WalError::Corrupt {
                 segment: app.seg_path.display().to_string(),
@@ -246,9 +352,11 @@ impl Wal {
             });
         }
         let framed = record.encode_framed();
+        app.dirty_tail = true;
         app.file
             .write_all(&framed)
             .map_err(|e| WalError::io(format!("append to {}", app.seg_path.display()), &e))?;
+        app.dirty_tail = false;
         app.seg_bytes += framed.len() as u64;
         app.head_epoch = record.epoch;
         app.records_since_checkpoint += 1;
@@ -264,24 +372,34 @@ impl Wal {
             SyncPolicy::None => {}
         }
 
-        if app.records_since_checkpoint >= self.cfg.checkpoint_every_records {
-            self.checkpoint_locked(&mut app, instance_after)?;
+        // From here on the record is appended (and synced per policy):
+        // housekeeping failures no longer retract it.
+        let maintenance = if app.records_since_checkpoint >= self.cfg.checkpoint_every_records {
+            self.checkpoint_locked(&mut app, instance_after).err()
         } else if app.seg_bytes >= self.cfg.segment_max_bytes {
-            self.rotate_locked(&mut app)?;
-        }
-        Ok(())
+            self.rotate_locked(&mut app).err()
+        } else {
+            None
+        };
+        Ok(AppendOutcome { maintenance })
     }
 
     /// Force a checkpoint of `instance` (which must be the instance at the
     /// current head epoch), truncating the log behind it.
     pub fn checkpoint(&self, instance: &SpatialInstance) -> Result<(), WalError> {
         let mut app = self.lock();
+        if let Some(broken) = &app.broken {
+            return Err(broken.clone());
+        }
         self.checkpoint_locked(&mut app, instance)
     }
 
     /// Flush any unsynced appends to stable storage, regardless of policy.
     pub fn sync(&self) -> Result<(), WalError> {
         let mut app = self.lock();
+        if let Some(broken) = &app.broken {
+            return Err(broken.clone());
+        }
         if app.unsynced {
             self.sync_locked(&mut app)?;
         }
@@ -303,6 +421,23 @@ impl Wal {
         &self.dir
     }
 
+    /// The storage backend this log runs on.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    /// Counters for storage events the log absorbed (see [`WalStats`]).
+    pub fn stats(&self) -> &WalStats {
+        &self.stats
+    }
+
+    /// If an fsync failure has broken this appender, the error that broke
+    /// it. A broken log refuses appends/syncs/checkpoints; reopening the
+    /// directory is the only way back to a known-good tail.
+    pub fn broken(&self) -> Option<WalError> {
+        self.lock().broken.clone()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Appender> {
         // The appender holds no invariant a panicking thread could break
         // mid-way that the next append would silently compound: a poisoned
@@ -315,9 +450,22 @@ impl Wal {
     }
 
     fn sync_locked(&self, app: &mut Appender) -> Result<(), WalError> {
-        app.file
-            .sync_all()
-            .map_err(|e| WalError::io(format!("fsync {}", app.seg_path.display()), &e))?;
+        if let Err(e) = app.file.sync_all() {
+            // fsync-gate: a failed fsync may have *dropped* the dirty
+            // pages, so the durable tail is unknown. Never retry the sync;
+            // report the failure as non-transient and refuse further work
+            // on this appender.
+            let err = WalError::Io {
+                context: format!("fsync {}", app.seg_path.display()),
+                kind: VfsErrorKind::Other,
+                message: format!(
+                    "{} (a failed fsync may drop the unsynced tail; reopen to recover)",
+                    e.message
+                ),
+            };
+            app.broken = Some(err.clone());
+            return Err(err);
+        }
         app.last_sync = Instant::now();
         app.unsynced = false;
         Ok(())
@@ -327,10 +475,11 @@ impl Wal {
         // Records in the retiring segment must be durable before the log
         // moves on; rotation is rare, so this sync is cheap in aggregate.
         self.sync_locked(app)?;
-        let (file, path) = create_segment(&self.dir, app.head_epoch + 1)?;
+        let (file, path) = create_segment(self.vfs.as_ref(), &self.dir, app.head_epoch + 1)?;
         app.file = file;
         app.seg_path = path;
         app.seg_bytes = SEGMENT_HEADER_LEN as u64;
+        app.dirty_tail = false;
         Ok(())
     }
 
@@ -339,11 +488,18 @@ impl Wal {
         app: &mut Appender,
         instance: &SpatialInstance,
     ) -> Result<(), WalError> {
-        write_checkpoint(&self.dir, app.head_epoch, instance)?;
+        write_checkpoint(self.vfs.as_ref(), &self.dir, app.head_epoch, instance, &self.stats)?;
         app.checkpoint_epoch = app.head_epoch;
         app.records_since_checkpoint = 0;
-        self.rotate_locked(app)?;
-        remove_stale(&self.dir, app.checkpoint_epoch);
+        if let Err(e) = self.rotate_locked(app) {
+            // The new checkpoint makes the current segment invisible to
+            // recovery (its first epoch now predates the checkpoint), so
+            // appending more records into it would silently lose them.
+            // Break the appender instead; reopen recovers cleanly.
+            app.broken.get_or_insert_with(|| e.clone());
+            return Err(e);
+        }
+        remove_stale(self.vfs.as_ref(), &self.dir, app.checkpoint_epoch);
         Ok(())
     }
 }

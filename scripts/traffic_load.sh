@@ -9,7 +9,7 @@
 # that falls behind shows the backlog as queueing delay instead of
 # silently throttling the offered load.
 #
-# Usage: scripts/traffic_load.sh [clients [rate [ops [mix [map [wal [sync]]]]]]]
+# Usage: scripts/traffic_load.sh [clients [rate [ops [mix [map [wal [sync [fault_rate]]]]]]]]
 #
 #   clients  concurrent client threads      (default: min(cores, 8), >= 2)
 #   rate     ops/second offered per client  (default: 200)
@@ -34,6 +34,14 @@
 #                                            every commit; interval group-
 #                                            commits with at most one fsync
 #                                            per 5 ms window)
+#   fault_rate  storage chaos                (0.0..1.0; default: 0. Non-zero
+#                                            moves the log onto the
+#                                            in-memory fault-injecting
+#                                            SimFs backend and fails each
+#                                            log write transiently with
+#                                            this probability; the report
+#                                            gains traffic/wal/* retry and
+#                                            degradation counters)
 #
 # The backend follows TOPODB_EPOCH_CHAIN (chain by default; set `off` to
 # drive the legacy RwLock cache for comparison).
@@ -61,6 +69,7 @@ env_args=()
 [ "$#" -ge 5 ] && env_args+=("TRAFFIC_MAP=$5")
 [ "$#" -ge 6 ] && env_args+=("TRAFFIC_WAL=$6")
 [ "$#" -ge 7 ] && env_args+=("TRAFFIC_SYNC=$7")
+[ "$#" -ge 8 ] && env_args+=("TRAFFIC_FAULT_RATE=$8")
 
 env "${env_args[@]+"${env_args[@]}"}" BENCH_JSON="${abs_out}" \
     cargo bench -p bench --bench traffic
